@@ -1,0 +1,221 @@
+(* wdpt: command-line front end.
+
+   Subcommands:
+     eval        evaluate an {AND,OPT}-SPARQL query over a triple file
+     classify    report fragment membership (Section 3 classes)
+     approximate compute WB(k)-approximations (Section 5)
+     check       well-designedness of a pattern
+
+   Data files contain one "subject predicate object" triple per line
+   ('#' comments); see Rdf.Graph. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let query_arg =
+  let doc = "The query: either inline {AND,OPT}-SPARQL or a path to a file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let relational_arg =
+  let doc =
+    "Relational mode: the query uses the generic pattern-tree syntax \
+     (free (x) { R(?x, ?y) } [ { S(?y) } ]) and the data file contains \
+     ground atoms like R(1, foo)."
+  in
+  Arg.(value & flag & info [ "r"; "relational" ] ~doc)
+
+(* load a pattern tree in either front-end syntax *)
+let load_tree ~relational query =
+  let src = if Sys.file_exists query then read_file query else query in
+  if relational then Wdpt.Syntax.parse src
+  else
+    match Rdf.Sparql.parse src with
+    | Error e -> Error ("query: " ^ e)
+    | Ok q ->
+        if Rdf.Sparql.is_well_designed q.Rdf.Sparql.where then
+          Ok (Rdf.Sparql.to_pattern_tree q)
+        else Error "query: pattern is not well-designed"
+
+let load_db ~relational path =
+  let doc = read_file path in
+  if relational then Wdpt.Syntax.parse_database doc
+  else
+    match Rdf.Graph.of_string doc with
+    | Error e -> Error ("data: " ^ e)
+    | Ok g -> Ok (Rdf.Graph.database g)
+
+let data_arg =
+  let doc = "Triple data file (one 's p o' triple per line)." in
+  Arg.(required & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+
+let k_arg =
+  let doc = "Width bound k." in
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
+
+let width_arg =
+  let doc = "Width notion: tw (treewidth) or hw (β-hypertreewidth)." in
+  Arg.(value & opt (enum [ ("tw", Wdpt.Classes.Tw); ("hw", Wdpt.Classes.Hw') ]) Wdpt.Classes.Tw
+       & info [ "w"; "width" ] ~docv:"WIDTH" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline e;
+      exit 1
+
+let eval_cmd =
+  let run query data maximal relational =
+    let p = or_die (load_tree ~relational query) in
+    let db = or_die (load_db ~relational data) in
+    let ans =
+      if maximal then Wdpt.Semantics.eval_max db p else Wdpt.Semantics.eval db p
+    in
+    Format.printf "%d answer(s)@." (Relational.Mapping.Set.cardinal ans);
+    List.iter
+      (fun h -> Format.printf "%a@." Relational.Mapping.pp h)
+      (Relational.Mapping.Set.elements ans)
+  in
+  let maximal =
+    Arg.(value & flag & info [ "m"; "maximal" ] ~doc:"Maximal-mappings semantics (Section 3.4).")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
+    Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg)
+
+let classify_cmd =
+  let run query k relational =
+    let p = or_die (load_tree ~relational query) in
+    Format.printf "well-designed:        true@.";
+    Format.printf "nodes:                %d@." (Wdpt.Pattern_tree.node_count p);
+    Format.printf "size (atoms):         %d@." (Wdpt.Pattern_tree.size p);
+    Format.printf "projection-free:      %b@." (Wdpt.Pattern_tree.is_projection_free p);
+    Format.printf "interface (least c):  %d@." (Wdpt.Classes.interface p);
+    Format.printf "locally in TW(%d):     %b@." k (Wdpt.Classes.locally_in ~width:Tw ~k p);
+    Format.printf "locally in HW(%d):     %b@." k (Wdpt.Classes.locally_in ~width:Hw ~k p);
+    Format.printf "globally in TW(%d):    %b@." k (Wdpt.Classes.globally_in ~width:Tw ~k p);
+    Format.printf "globally in HW(%d):    %b@." k (Wdpt.Classes.globally_in ~width:Hw ~k p);
+    Format.printf "in WB(%d) [g-TW]:      %b@." k (Wdpt.Classes.in_wb ~width:Tw ~k p);
+    let q_full = Wdpt.Pattern_tree.q_full p in
+    Format.printf "full-tree treewidth:  %d@." (Cq.Query.treewidth q_full)
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Fragment membership per Section 3 of the paper.")
+    Term.(const run $ query_arg $ k_arg $ relational_arg)
+
+let approximate_cmd =
+  let run query k width relational =
+    let p = or_die (load_tree ~relational query) in
+    let print_tree a =
+      if relational then Format.printf "%a@." Wdpt.Pattern_tree.pp a
+      else Format.printf "%a@." Rdf.Sparql.pp_query (Rdf.Sparql.of_pattern_tree a)
+    in
+    if Wdpt.Classes.in_wb ~width ~k p then
+      Format.printf "query already in WB(%d); it is its own approximation@." k
+    else begin
+      let apps = Wdpt.Approximation.wb_approximations ~width ~k p in
+      Format.printf "%d WB(%d)-approximation(s)@." (List.length apps) k;
+      List.iter print_tree apps
+    end
+  in
+  Cmd.v
+    (Cmd.info "approximate" ~doc:"WB(k)-approximations (Section 5.2).")
+    Term.(const run $ query_arg $ k_arg $ width_arg $ relational_arg)
+
+let optimize_cmd =
+  let run query k relational data =
+    let p = or_die (load_tree ~relational query) in
+    let pl = Wdpt.Optimizer.plan ~k p in
+    Format.printf "plan: %s@." (Wdpt.Optimizer.describe pl);
+    match data with
+    | None -> ()
+    | Some path ->
+        let db = or_die (load_db ~relational path) in
+        let ans = Wdpt.Optimizer.eval pl db in
+        Format.printf "%d answer(s)%s@."
+          (Relational.Mapping.Set.cardinal ans)
+          (if Wdpt.Optimizer.complete pl then ""
+           else " (sound approximation: a subset of the exact answers)");
+        List.iter
+          (fun h -> Format.printf "%a@." Relational.Mapping.pp h)
+          (Relational.Mapping.Set.elements ans)
+  in
+  let data_opt =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Optional data to evaluate through the plan.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Pick an evaluation strategy (Sections 3-5) and optionally run it.")
+    Term.(const run $ query_arg $ k_arg $ relational_arg $ data_opt)
+
+let union_cmd =
+  let run query k data =
+    let src = if Sys.file_exists query then read_file query else query in
+    let u = or_die (Wdpt.Syntax.parse_union src) in
+    Format.printf "union of %d WDPT(s)@." (List.length u);
+    Format.printf "in M(UWB(%d)) [Theorem 17]: %b@." k
+      (Wdpt.Union.in_m_uwb ~width:Tw ~k u);
+    (match Wdpt.Union.uwb_witness ~width:Tw ~k u with
+    | Some w ->
+        Format.printf "equivalent UWB(%d) union (%d disjuncts):@." k (List.length w);
+        List.iter (fun p -> Format.printf "  %a@." Wdpt.Pattern_tree.pp p) w
+    | None ->
+        let app = Wdpt.Union.uwb_approximation ~width:Tw ~k u in
+        Format.printf "UWB(%d)-approximation [Theorem 18] (%d disjuncts):@." k
+          (List.length app);
+        List.iter (fun p -> Format.printf "  %a@." Wdpt.Pattern_tree.pp p) app);
+    match data with
+    | None -> ()
+    | Some path ->
+        let db = or_die (load_db ~relational:true path) in
+        let ans = Wdpt.Union.eval db u in
+        Format.printf "%d answer(s)@." (Relational.Mapping.Set.cardinal ans);
+        List.iter
+          (fun h -> Format.printf "%a@." Relational.Mapping.pp h)
+          (Relational.Mapping.Set.elements ans)
+  in
+  let data_opt =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"FILE" ~doc:"Optional facts file to evaluate over.")
+  in
+  Cmd.v
+    (Cmd.info "union"
+       ~doc:"Unions of WDPTs (Section 6): membership, witness/approximation, evaluation. \
+             Query syntax: pattern-tree disjuncts separated by UNION.")
+    Term.(const run $ query_arg $ k_arg $ data_opt)
+
+let check_cmd =
+  let run query relational =
+    match load_tree ~relational query with
+    | Ok p ->
+        Format.printf "well-designed: true@.%a@." Wdpt.Pattern_tree.pp p;
+        exit 0
+    | Error e ->
+        Format.printf "well-designed: false (%s)@." e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check well-designedness and show the pattern tree.")
+    Term.(const run $ query_arg $ relational_arg)
+
+let () =
+  let info =
+    Cmd.info "wdpt" ~version:"1.0.0"
+      ~doc:"Well-designed pattern trees: evaluation, classification, approximation."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ eval_cmd;
+            classify_cmd;
+            approximate_cmd;
+            optimize_cmd;
+            union_cmd;
+            check_cmd ]))

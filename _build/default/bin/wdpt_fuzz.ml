@@ -1,0 +1,82 @@
+(* Differential fuzzer: cross-checks every implementation of the WDPT
+   semantics (procedural, reference, bottom-up algebraic) and the tractable
+   decision procedures (Theorems 6-9) against brute force on random
+   instances, printing the offending seed on any disagreement.
+
+   Usage: wdpt_fuzz [SECONDS]   (default 10) *)
+
+open Relational
+
+let random_instance seed =
+  let st = Random.State.make [| seed |] in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let p =
+    Workload.Gen_wdpt.random ~seed ~depth:(pick [ 1; 2 ]) ~branching:(pick [ 1; 2 ])
+      ~vars_per_node:(pick [ 1; 2; 3 ])
+      ~interface:(pick [ 1; 2 ])
+      ~free_per_node:(pick [ 0; 1 ])
+      ~style:(pick [ Workload.Gen_wdpt.Chain; Workload.Gen_wdpt.Clique 3 ])
+      ~rel:"E"
+  in
+  let db =
+    Workload.Gen_db.random_graph_db ~seed:(seed + 1)
+      ~nodes:(2 + Random.State.int st 5)
+      ~edges:(1 + Random.State.int st 10)
+  in
+  (p, db)
+
+let probes p db =
+  let ans = Mapping.Set.elements (Wdpt.Semantics.eval_naive db p) in
+  let restrictions =
+    List.concat_map
+      (fun h ->
+        List.map
+          (fun x -> Mapping.restrict (String_set.remove x (Mapping.domain h)) h)
+          (String_set.elements (Mapping.domain h)))
+      ans
+  in
+  Mapping.empty :: (ans @ restrictions)
+
+let check_instance seed =
+  let p, db = random_instance seed in
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let reference = Wdpt.Semantics.eval_naive db p in
+  if not (Mapping.Set.equal (Wdpt.Semantics.eval db p) reference) then
+    fail "procedural-vs-reference";
+  if not (Mapping.Set.equal (Wdpt.Algebra_eval.eval db p) reference) then
+    fail "algebraic-vs-reference";
+  let max_ref =
+    Mapping.Set.of_list (Mapping.maximal_elements (Mapping.Set.elements reference))
+  in
+  List.iter
+    (fun h ->
+      if Wdpt.Eval_tractable.decision db p h <> Mapping.Set.mem h reference then
+        fail "eval-tractable";
+      let brute_partial =
+        Mapping.Set.exists (Mapping.subsumes h) reference
+      in
+      if Wdpt.Partial_eval.decision db p h <> brute_partial then fail "partial-eval";
+      if Wdpt.Max_eval.decision db p h <> Mapping.Set.mem h max_ref then
+        fail "max-eval")
+    (probes p db);
+  !failures
+
+let () =
+  let seconds =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0
+  in
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 and bad = ref 0 in
+  let seed = ref (int_of_float (Unix.time ()) land 0xFFFFFF) in
+  while Unix.gettimeofday () -. t0 < seconds do
+    incr seed;
+    incr n;
+    match check_instance !seed with
+    | [] -> ()
+    | failures ->
+        incr bad;
+        Printf.printf "seed %d FAILED: %s\n%!" !seed (String.concat ", " failures)
+  done;
+  Printf.printf "fuzzed %d instances in %.1fs: %d failure(s)\n" !n seconds !bad;
+  exit (if !bad = 0 then 0 else 1)

@@ -1,0 +1,1 @@
+examples/approximation_demo.ml: Atom Format List Mapping Relational Term Wdpt Workload

@@ -1,0 +1,1 @@
+examples/approximation_demo.mli:

@@ -1,0 +1,1 @@
+examples/bands_catalog.ml: Cq Database Format List Mapping Rdf Relational Wdpt Workload

@@ -1,0 +1,1 @@
+examples/bands_catalog.mli:

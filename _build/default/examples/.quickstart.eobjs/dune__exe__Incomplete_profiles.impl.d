@@ -1,0 +1,1 @@
+examples/incomplete_profiles.ml: Atom Database Format Mapping Relational String_set Term Wdpt Workload

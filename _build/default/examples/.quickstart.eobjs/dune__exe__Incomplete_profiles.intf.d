@@ -1,0 +1,1 @@
+examples/incomplete_profiles.mli:

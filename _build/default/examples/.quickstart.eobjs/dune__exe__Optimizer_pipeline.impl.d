@@ -1,0 +1,1 @@
+examples/optimizer_pipeline.ml: Atom Cq Database Fact Format List Mapping Relational Term Value Wdpt

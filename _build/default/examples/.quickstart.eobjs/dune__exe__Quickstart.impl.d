@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cq Database Format List Mapping Relational Value Wdpt Workload

@@ -1,0 +1,1 @@
+examples/sparql_demo.ml: Format List Rdf Relational Wdpt

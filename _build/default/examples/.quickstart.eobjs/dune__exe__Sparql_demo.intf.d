@@ -1,0 +1,1 @@
+examples/sparql_demo.mli:

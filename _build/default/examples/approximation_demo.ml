@@ -1,0 +1,68 @@
+(* Approximation in action (Sections 5-6).
+
+   A query whose pattern is too "wide" to evaluate efficiently is
+   approximated by a WB(1) query; the approximation is sound (subsumed by
+   the original) and can be evaluated in polynomial time. We also run the
+   UWDPT machinery of Theorem 18 and the Figure-2 blow-up family.
+
+   Run with: dune exec examples/approximation_demo.exe *)
+
+open Relational
+
+let v = Term.var
+let e a b = Atom.make "E" [ v a; v b ]
+
+let () =
+  (* A WDPT whose root is a directed triangle (treewidth 2) with an optional
+     pendant. *)
+  let p =
+    Wdpt.Pattern_tree.make ~free:[ "x"; "w" ]
+      (Node
+         ( [ e "x" "y"; e "y" "z"; e "z" "x" ],
+           [ Node ([ e "x" "w" ], []) ] ))
+  in
+  Format.printf "query p = %a@." Wdpt.Pattern_tree.pp p;
+  Format.printf "p in WB(1): %b (root triangle has treewidth 2)@.@."
+    (Wdpt.Classes.in_wb ~width:Tw ~k:1 p);
+
+  (* WB(1)-approximations via the quotient/drop search. *)
+  let apps = Wdpt.Approximation.wb_approximations ~width:Tw ~k:1 p in
+  Format.printf "WB(1)-approximations found: %d@." (List.length apps);
+  List.iter (fun a -> Format.printf "  %a@." Wdpt.Pattern_tree.pp a) apps;
+  (match apps with
+  | a :: _ ->
+      Format.printf "  soundness (a ⊑ p): %b@.@." (Wdpt.Subsumption.subsumes a p)
+  | [] -> ());
+
+  (* Evaluate original vs approximation on a database where they agree /
+     differ. *)
+  let db = Workload.Gen_db.random_graph_db ~seed:5 ~nodes:30 ~edges:120 in
+  (match apps with
+  | a :: _ ->
+      let exact = Wdpt.Semantics.eval db p in
+      let approx = Wdpt.Semantics.eval db a in
+      let sound =
+        Mapping.Set.for_all
+          (fun h -> Mapping.Set.exists (Mapping.subsumes h) exact)
+          approx
+      in
+      Format.printf
+        "on a random db: |p(D)| = %d, |approx(D)| = %d, approx answers subsumed by exact: %b@.@."
+        (Mapping.Set.cardinal exact)
+        (Mapping.Set.cardinal approx)
+        sound
+  | [] -> ());
+
+  (* Theorem 18: UWDPT approximation of the union {p}. *)
+  let uapp = Wdpt.Union.uwb_approximation ~width:Tw ~k:1 [ p ] in
+  Format.printf "UWB(1)-approximation of {p}: %d disjunct(s)@." (List.length uapp);
+  List.iter (fun q -> Format.printf "  %a@." Wdpt.Pattern_tree.pp q) uapp;
+
+  (* Figure 2: the exponential lower bound on approximation size. *)
+  Format.printf "@.Figure-2 family (k = 2): |p1| vs |p2|@.";
+  List.iter
+    (fun n ->
+      let p1, p2 = Workload.Hard_instances.figure2 ~n ~k:2 in
+      Format.printf "  n = %d: |p1| = %3d  |p2| = %4d@." n
+        (Wdpt.Pattern_tree.size p1) (Wdpt.Pattern_tree.size p2))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]

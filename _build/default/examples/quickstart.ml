@@ -1,0 +1,54 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Builds the WDPT of Figure 1 (the query of Example 1), evaluates it over
+   the database of Example 2, reproduces the projections of Example 3, the
+   maximal-mappings semantics of Example 7, and the CQ translation of
+   Example 8.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Relational
+
+let pp_answers name ans =
+  Format.printf "%s = {@[<hov>%a@]}@." name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Mapping.pp)
+    (Mapping.Set.elements ans)
+
+let () =
+  (* The database of Example 2. *)
+  let db = Workload.Datasets.example2_db () in
+  Format.printf "--- database (Example 2) ---@.%a@.@." Database.pp db;
+
+  (* Example 1 / Figure 1: all four variables free. *)
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "x"; "y"; "z"; "z'" ] in
+  Format.printf "--- WDPT of Figure 1 ---@.%a@.@." Wdpt.Pattern_tree.pp p;
+  pp_answers "p(D)   (Example 2)" (Wdpt.Semantics.eval db p);
+
+  (* Example 3: project out x (and z'). *)
+  let p_proj = Workload.Datasets.figure1_wdpt ~free:[ "y"; "z" ] in
+  pp_answers "p(D)   (Example 3, free y z)" (Wdpt.Semantics.eval db p_proj);
+
+  (* Example 7: maximal-mappings semantics retains only mu2. *)
+  pp_answers "p_m(D) (Example 7)" (Wdpt.Semantics.eval_max db p_proj);
+
+  (* The decision problems of Section 3 on mu1. *)
+  let mu1 = Mapping.of_list [ ("y", Value.str "Caribou") ] in
+  Format.printf "@.EVAL:         mu1' in p(D)?   %b (tractable algorithm: %b)@."
+    (Wdpt.Semantics.decision db p_proj mu1)
+    (Wdpt.Eval_tractable.decision db p_proj mu1);
+  Format.printf "PARTIAL-EVAL: extendable?      %b@."
+    (Wdpt.Partial_eval.decision db p_proj mu1);
+  Format.printf "MAX-EVAL:     maximal?         %b@." (Wdpt.Max_eval.decision db p_proj mu1);
+
+  (* Fragment classification (Example 6). *)
+  Format.printf "@.--- classification (Example 6) ---@.";
+  Format.printf "locally in TW(1): %b@." (Wdpt.Classes.locally_in ~width:Tw ~k:1 p);
+  Format.printf "interface:        %d  (so p in BI(2))@." (Wdpt.Classes.interface p);
+  Format.printf "globally in TW(1): %b@." (Wdpt.Classes.globally_in ~width:Tw ~k:1 p);
+
+  (* Example 8: the CQs r_T' of phi_cq, for the projection onto y z z'. *)
+  let p8 = Workload.Datasets.figure1_wdpt ~free:[ "y"; "z"; "z'" ] in
+  Format.printf "@.--- phi_cq (Example 8) ---@.";
+  List.iter
+    (fun q -> Format.printf "  %a@." Cq.Query.pp q)
+    (Wdpt.Union.phi_cq [ p8 ])

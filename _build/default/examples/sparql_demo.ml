@@ -1,0 +1,68 @@
+(* The RDF/SPARQL front-end: parse {AND,OPT}-SPARQL, check well-designedness,
+   translate to a WDPT, evaluate over a triple store, and go back to SPARQL.
+
+   Run with: dune exec examples/sparql_demo.exe *)
+
+let data =
+  {|# a small knowledge graph
+tbl album_of radiohead
+tbl published 1997
+tbl rating 10
+kid_a album_of radiohead
+kid_a published 2000
+in_rainbows album_of radiohead
+in_rainbows published 2007
+in_rainbows rating 9
+radiohead formed_in 1985
+blackstar album_of bowie
+blackstar published 2016
+blackstar rating 10
+bowie formed_in 1962
+low album_of bowie
+low published 1977
+|}
+
+let queries =
+  [ ( "albums with optional rating",
+      {| SELECT ?a ?b ?r WHERE {
+           { ?a album_of ?b } OPT { ?a rating ?r }
+         } |} );
+    ( "albums with rating and optional band year",
+      {| SELECT * WHERE {
+           { ?a album_of ?b . ?a rating ?r } OPT { ?b formed_in ?y }
+         } |} );
+    ( "nested optionals (rating, and year only for rated albums)",
+      {| SELECT ?a ?r ?y WHERE {
+           { ?a album_of ?b } OPT { { ?a rating ?r } OPT { ?a published ?y } }
+         } |} );
+    ( "NOT well-designed: inner OPT reaches a variable outside its scope",
+      {| SELECT ?a ?r ?y WHERE {
+           { ?a album_of ?b } OPT { { ?a rating ?r } OPT { ?b formed_in ?y } }
+         } |} ) ]
+
+let () =
+  let g =
+    match Rdf.Graph.of_string data with
+    | Ok g -> g
+    | Error e -> failwith e
+  in
+  Format.printf "graph: %d triples@.@." (Rdf.Graph.size g);
+  List.iter
+    (fun (name, src) ->
+      Format.printf "--- %s ---@." name;
+      match Rdf.Sparql.parse src with
+      | Error e -> Format.printf "parse error: %s@." e
+      | Ok q when not (Rdf.Sparql.is_well_designed q.where) ->
+          Format.printf "well-designed: false — rejected@.@."
+      | Ok q ->
+          Format.printf "well-designed: true@.";
+          let p = Rdf.Sparql.to_pattern_tree q in
+          Format.printf "as WDPT: %a@." Wdpt.Pattern_tree.pp p;
+          let ans = Wdpt.Semantics.eval (Rdf.Graph.database g) p in
+          Format.printf "answers (%d):@." (Relational.Mapping.Set.cardinal ans);
+          List.iter
+            (fun h -> Format.printf "  %a@." Relational.Mapping.pp h)
+            (Relational.Mapping.Set.elements ans);
+          Format.printf "back to SPARQL: %a@.@." Rdf.Sparql.pp_query
+            (Rdf.Sparql.of_pattern_tree p))
+    queries

@@ -1,0 +1,1 @@
+lib/cq/approx.ml: Containment Hashtbl List Query Relational String_set

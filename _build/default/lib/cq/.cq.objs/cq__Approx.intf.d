@@ -1,0 +1,1 @@
+lib/cq/approx.mli: Query

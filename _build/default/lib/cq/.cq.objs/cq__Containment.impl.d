@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Eval List Mapping Option Query Relational String_set

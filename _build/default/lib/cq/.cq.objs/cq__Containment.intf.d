@@ -1,0 +1,1 @@
+lib/cq/containment.mli: Mapping Query Relational

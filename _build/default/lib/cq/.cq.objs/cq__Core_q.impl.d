@@ -1,0 +1,1 @@
+lib/cq/core_q.ml: Database Eval Fact Hashtbl List Mapping Option Query Relational String_set Value

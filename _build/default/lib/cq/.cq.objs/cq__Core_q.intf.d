@@ -1,0 +1,1 @@
+lib/cq/core_q.mli: Query

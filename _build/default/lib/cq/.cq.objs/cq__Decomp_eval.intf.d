@@ -1,0 +1,1 @@
+lib/cq/decomp_eval.mli: Database Hypergraphs Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Database List Mapping Query Relational String_set

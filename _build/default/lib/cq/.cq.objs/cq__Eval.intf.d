@@ -1,0 +1,1 @@
+lib/cq/eval.mli: Atom Database Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/cq/hyper_eval.ml: Array Atom Database Eval Hypergraphs List Mapping Query Relation Relational String_set

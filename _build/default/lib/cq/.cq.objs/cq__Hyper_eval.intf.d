@@ -1,0 +1,1 @@
+lib/cq/hyper_eval.mli: Database Hypergraphs Mapping Query Relational

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Atom Database Format Hashtbl Hypergraphs List Mapping Option Relational String String_set Term Value

@@ -1,0 +1,1 @@
+lib/cq/query.mli: Atom Database Format Hypergraphs Mapping Relational String_set Value

@@ -1,0 +1,1 @@
+lib/cq/relation.ml: Format Hashtbl List Mapping Relational String_set

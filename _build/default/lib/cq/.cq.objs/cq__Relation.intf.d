@@ -1,0 +1,1 @@
+lib/cq/relation.mli: Format Mapping Relational String_set Value

@@ -1,0 +1,1 @@
+lib/cq/yannakakis.ml: Array Atom Database Hypergraphs List Mapping Query Relation Relational String_set

@@ -1,0 +1,1 @@
+lib/cq/yannakakis.mli: Database Mapping Query Relational

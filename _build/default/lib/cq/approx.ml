@@ -1,0 +1,60 @@
+open Relational
+
+let merge_candidates q =
+  (* pairs (u, v) meaning "rename u to v"; head variables are never renamed *)
+  let head = Query.head_set q in
+  let vs = String_set.elements (Query.vars q) in
+  let rec pairs = function
+    | [] -> []
+    | u :: rest ->
+        List.filter_map
+          (fun v ->
+            let u_head = String_set.mem u head and v_head = String_set.mem v head in
+            if u_head && v_head then None
+            else if u_head then Some (v, u)
+            else Some (u, v))
+          rest
+        @ pairs rest
+  in
+  pairs vs
+
+let merge q (u, v) =
+  Query.quotient (fun x -> if x = u then v else x) q
+
+let quotients_in_class ~in_class q =
+  let seen = Hashtbl.create 256 in
+  let found = ref [] in
+  let rec explore q =
+    let key = Query.canonical_key q in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if in_class q then found := q :: !found
+      else List.iter (fun pair -> explore (merge q pair)) (merge_candidates q)
+    end
+  in
+  explore q;
+  !found
+
+let approximations ~in_class q =
+  let candidates = quotients_in_class ~in_class q in
+  (* keep the containment-maximal ones, deduplicating equivalent queries *)
+  let maximal =
+    List.filter
+      (fun c ->
+        not
+          (List.exists
+             (fun c' ->
+               Containment.contained c c' && not (Containment.contained c' c))
+             candidates))
+      candidates
+  in
+  let rec dedup acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.exists (Containment.equivalent c) acc then dedup acc rest
+        else dedup (c :: acc) rest
+  in
+  dedup [] maximal
+
+let tw_approximations ~k q = approximations ~in_class:(Query.in_tw ~k) q
+let hw'_approximations ~k q = approximations ~in_class:(Query.in_hw' ~k) q

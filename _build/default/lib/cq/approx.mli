@@ -1,0 +1,28 @@
+(** C(k)-approximations of CQs (Barceló–Libkin–Romero [4]; used by the paper
+    in Sections 5–6).
+
+    A C-approximation of [q] is a query [q' ∈ C] maximally contained in [q].
+    Quotient lemma: if [q' ⊆ q] with [q' ∈ C] via a homomorphism
+    [g : q -> q'], then the atom set [g(q)] is a subset of [q']'s atoms, so
+    [q' ⊆ q_{g(q)} ⊆ q] and — C being substructure-closed — [q_{g(q)} ∈ C].
+    Hence the maximal in-class *quotients* of [q] are exactly its
+    C-approximations, and it suffices to search the quotient lattice. *)
+
+(** [quotients_in_class ~in_class q]: the in-class quotients of [q] found by
+    BFS over pairwise variable merges, pruned below in-class nodes (sound
+    because deeper quotients are contained in their in-class ancestors).
+    [in_class] must be substructure-closed and invariant under variable
+    renaming. *)
+val quotients_in_class : in_class:(Query.t -> bool) -> Query.t -> Query.t list
+
+(** [approximations ~in_class q]: all C-approximations of [q] up to
+    equivalence (the list is empty when no in-class query is contained in
+    [q], which can happen when the free variables themselves form a structure
+    outside C). *)
+val approximations : in_class:(Query.t -> bool) -> Query.t -> Query.t list
+
+(** TW(k)-approximations. *)
+val tw_approximations : k:int -> Query.t -> Query.t list
+
+(** HW′(k)-approximations (β-hypertreewidth ≤ k). *)
+val hw'_approximations : k:int -> Query.t -> Query.t list

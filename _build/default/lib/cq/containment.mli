@@ -1,0 +1,21 @@
+(** CQ containment and equivalence (Chandra–Merlin), in the paper's
+    partial-mapping semantics: answers are mappings on the free-variable
+    names, so [q ⊆ q'] additionally requires the free variables of [q'] to be
+    exactly those of [q]. *)
+
+open Relational
+
+(** [homomorphism q q'] searches for a homomorphism from [q] to [q'] fixing
+    the shared free variables (i.e. a witness of [q' ⊆ q] when heads agree). *)
+val homomorphism : Query.t -> Query.t -> Mapping.t option
+
+(** [contained q q']: does [q(D) ⊆ q'(D)] hold for all [D]? *)
+val contained : Query.t -> Query.t -> bool
+
+val equivalent : Query.t -> Query.t -> bool
+
+(** [subsumed q q']: for every database, every answer of [q] is subsumed
+    (⊑, Section 2) by an answer of [q']. For CQs with equal heads this
+    coincides with containment; with different heads it requires
+    [head q ⊆ head q'] plus a homomorphism condition. *)
+val subsumed : Query.t -> Query.t -> bool

@@ -1,0 +1,16 @@
+(** Cores of CQs.
+
+    The core of [q] is the smallest retract of [q]; it is unique up to
+    isomorphism and characterizes semantic membership in substructure-closed
+    classes: [q] is equivalent to some query in C iff [core q ∈ C]
+    (Dalmau–Kolaitis–Vardi [10]), the fact behind Theorem 17. *)
+
+val core : Query.t -> Query.t
+
+(** [is_core q]: no proper retraction exists. *)
+val is_core : Query.t -> bool
+
+(** [equivalent_to_class q ~in_class] decides if [q] is equivalent to some CQ
+    in the class, which must be closed under substructures (e.g. TW(k),
+    HW′(k)). *)
+val equivalent_to_class : Query.t -> in_class:(Query.t -> bool) -> bool

@@ -1,0 +1,22 @@
+(** Decomposition-based CQ evaluation (the tractable evaluator behind
+    Theorems 2, 3, 7, 8, 9 of the paper).
+
+    The decomposition tree is treated as a join tree over materialized bag
+    relations: an upward semijoin pass decides satisfiability (Yannakakis);
+    for non-Boolean queries a full reducer plus an upward join-project pass
+    computes the answer set. For a query of treewidth k the bag relations have
+    at most |adom|^(k+1) rows, giving the polynomial bound; on acyclic queries
+    the GYO join forest is used directly, so bags are single atoms. *)
+
+open Relational
+
+(** [satisfiable ?td db q ~init]: is [q] (instantiated by [init]) satisfiable
+    in [db]? A tree decomposition of the *instantiated* query may be supplied;
+    otherwise the heuristic one is computed. *)
+val satisfiable : ?td:Hypergraphs.Tree_decomposition.t -> Database.t -> Query.t -> init:Mapping.t -> bool
+
+(** [answers ?td db q]: the evaluation q(D) via full Yannakakis. *)
+val answers : ?td:Hypergraphs.Tree_decomposition.t -> Database.t -> Query.t -> Mapping.Set.t
+
+(** [decision db q h]: is [h ∈ q(D)]? *)
+val decision : ?td:Hypergraphs.Tree_decomposition.t -> Database.t -> Query.t -> Mapping.t -> bool

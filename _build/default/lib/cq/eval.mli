@@ -1,0 +1,29 @@
+(** Backtracking evaluation of arbitrary CQs (worst-case exponential; this is
+    the "general" evaluator the tractable algorithms are compared against). *)
+
+open Relational
+
+(** [iter_homomorphisms db atoms ~init f] calls [f] on every extension of
+    [init] that maps every atom into [db]. Atoms are matched in a dynamically
+    chosen most-constrained-first order. Raising inside [f] aborts the
+    enumeration. *)
+val iter_homomorphisms :
+  Database.t -> Atom.t list -> init:Mapping.t -> (Mapping.t -> unit) -> unit
+
+(** All homomorphisms extending [init]. *)
+val homomorphisms : Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t list
+
+(** First homomorphism found, if any (stops early). *)
+val first_homomorphism :
+  Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t option
+
+(** [satisfiable db atoms ~init]: does some homomorphism extend [init]? *)
+val satisfiable : Database.t -> Atom.t list -> init:Mapping.t -> bool
+
+(** [answers db q]: the evaluation q(D) as a set of partial mappings on the
+    head variables. *)
+val answers : Database.t -> Query.t -> Mapping.Set.t
+
+(** [decision db q h]: is [h ∈ q(D)]? ([h] must be defined on exactly the head
+    variables; otherwise the answer is [false].) *)
+val decision : Database.t -> Query.t -> Mapping.t -> bool

@@ -1,0 +1,22 @@
+(** CQ evaluation guided by a generalized hypertree decomposition — the
+    HW(k) evaluation of Theorem 3 for k ≥ 2 (k = 1 is {!Yannakakis}).
+
+    Each decomposition node materializes the join of its ≤ k guard atoms
+    projected onto its bag, so the materialization cost is bounded by the
+    guards' join sizes instead of |adom|^treewidth; the bag relations then
+    form an acyclic instance processed with semijoin passes as usual. *)
+
+open Relational
+
+(** [satisfiable db q ~htd ~init]. The decomposition must be valid for the
+    query instantiated by [init] (bags may mention dead variables; they are
+    trimmed). *)
+val satisfiable :
+  Database.t -> Query.t -> htd:Hypergraphs.Hypertree.t -> init:Mapping.t -> bool
+
+(** [answers db q ~htd]. *)
+val answers : Database.t -> Query.t -> htd:Hypergraphs.Hypertree.t -> Mapping.Set.t
+
+(** [auto db q ~k ~init]: find a width ≤ k decomposition and evaluate;
+    [None] when the query's hypertreewidth exceeds [k]. *)
+val auto : Database.t -> Query.t -> k:int -> init:Mapping.t -> bool option

@@ -1,0 +1,117 @@
+open Relational
+
+type t = {
+  head : string list;
+  body : Atom.t list;
+}
+
+let body_vars body =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.var_set a)) String_set.empty body
+
+let make ~head ~body =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem seen x then invalid_arg ("Query.make: duplicate head variable " ^ x);
+      Hashtbl.add seen x ())
+    head;
+  let bv = body_vars body in
+  List.iter
+    (fun x ->
+      if not (String_set.mem x bv) then
+        invalid_arg ("Query.make: head variable " ^ x ^ " not in body"))
+    head;
+  { head; body = List.sort_uniq Atom.compare body }
+
+let boolean body = make ~head:[] ~body
+let head q = q.head
+let body q = q.body
+let head_set q = String_set.of_list q.head
+let vars q = body_vars q.body
+let existential_vars q = String_set.diff (vars q) (head_set q)
+
+let constants q =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun acc v -> Value.Set.add v acc) acc (Atom.constants a))
+    Value.Set.empty q.body
+
+let size q = List.length q.body
+
+let compare_syntactic a b =
+  let c = List.compare String.compare a.head b.head in
+  if c <> 0 then c else List.compare Atom.compare a.body b.body
+
+let equal_syntactic a b = compare_syntactic a b = 0
+
+let hypergraph q =
+  Hypergraphs.Hypergraph.of_edges (List.map Atom.var_set q.body)
+
+let treewidth q = Hypergraphs.Tree_decomposition.treewidth (hypergraph q)
+
+let in_tw ~k q =
+  Option.is_some (Hypergraphs.Tree_decomposition.at_most (hypergraph q) k)
+
+let is_acyclic q = Hypergraphs.Gyo.is_acyclic (hypergraph q)
+let in_hw ~k q = Option.is_some (Hypergraphs.Hypertree.ghw_at_most (hypergraph q) k)
+let in_hw' ~k q = Hypergraphs.Beta.beta_ghw_at_most (hypergraph q) k
+
+let substitute h q =
+  let body = List.map (Mapping.apply_atom h) q.body in
+  let head = List.filter (fun x -> not (Mapping.mem x h)) q.head in
+  (* substitution can ground a head variable entirely out of the body; such
+     queries are rejected by [make], so rebuild carefully: keep only head vars
+     still present *)
+  let bv = body_vars body in
+  let head = List.filter (fun x -> String_set.mem x bv) head in
+  make ~head ~body
+
+let rename f q =
+  let seen = Hashtbl.create 16 in
+  String_set.iter
+    (fun x ->
+      let y = f x in
+      match Hashtbl.find_opt seen y with
+      | Some x' when x' <> x -> invalid_arg "Query.rename: not injective"
+      | _ -> Hashtbl.replace seen y x)
+    (vars q);
+  { head = List.map f q.head;
+    body = List.sort_uniq Atom.compare (List.map (Atom.apply ~f:(fun x -> Term.var (f x))) q.body) }
+
+let quotient f q =
+  List.iter
+    (fun x -> if f x <> x then invalid_arg "Query.quotient: head variable not fixed")
+    q.head;
+  make ~head:q.head
+    ~body:(List.map (Atom.apply ~f:(fun x -> Term.var (f x))) q.body)
+
+let freeze q =
+  let frozen = Hashtbl.create 16 in
+  let freeze_var x =
+    match Hashtbl.find_opt frozen x with
+    | Some v -> v
+    | None ->
+        let v = Value.fresh ~tag:x () in
+        Hashtbl.add frozen x v;
+        v
+  in
+  let facts =
+    List.map
+      (fun a -> Atom.to_fact (Atom.apply ~f:(fun x -> Term.const (freeze_var x)) a))
+      q.body
+  in
+  let h =
+    String_set.fold (fun x acc -> Mapping.add x (freeze_var x) acc) (vars q) Mapping.empty
+  in
+  (Database.of_list facts, h)
+
+let pp_raw ppf q =
+  Format.fprintf ppf "Ans(%a) <- %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_string)
+    q.head
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    q.body
+
+let canonical_key q = Format.asprintf "%a" pp_raw q
+let pp = pp_raw

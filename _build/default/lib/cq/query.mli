@@ -1,0 +1,71 @@
+(** Conjunctive queries [Ans(x̄) <- R1(v̄1), ..., Rm(v̄m)] (Section 2).
+
+    Following the paper, answers are partial mappings (not tuples), so head
+    variables are referred to by name; two CQs can only be compared when they
+    agree on their free variables. *)
+
+open Relational
+
+type t = private {
+  head : string list;  (** free variables x̄ (distinct, occurring in body) *)
+  body : Atom.t list;
+}
+
+(** @raise Invalid_argument if head variables are not distinct or do not all
+    occur in the body. *)
+val make : head:string list -> body:Atom.t list -> t
+
+(** A Boolean query [Ans() <- body]. *)
+val boolean : Atom.t list -> t
+
+val head : t -> string list
+val body : t -> Atom.t list
+val head_set : t -> String_set.t
+
+(** All variables of the query. *)
+val vars : t -> String_set.t
+
+(** Existentially quantified variables (body vars not in the head). *)
+val existential_vars : t -> String_set.t
+
+val constants : t -> Value.Set.t
+
+(** Number of atoms. *)
+val size : t -> int
+
+val equal_syntactic : t -> t -> bool
+val compare_syntactic : t -> t -> int
+
+(** The hypergraph of the query: vertices are variables, one edge per atom
+    (the set of its variables). *)
+val hypergraph : t -> Hypergraphs.Hypergraph.t
+
+val treewidth : t -> int
+val in_tw : k:int -> t -> bool
+val is_acyclic : t -> bool
+val in_hw : k:int -> t -> bool
+
+(** [in_hw' ~k q]: every subquery has hypertreewidth <= k (the class HW′(k),
+    i.e. β-hypertreewidth <= k). *)
+val in_hw' : k:int -> t -> bool
+
+(** [substitute h q] replaces variables bound by [h] with constants, removing
+    them from the head. *)
+val substitute : Mapping.t -> t -> t
+
+(** [rename f q] renames variables injectively.
+    @raise Invalid_argument if [f] identifies two variables. *)
+val rename : (string -> string) -> t -> t
+
+(** [quotient f q] applies a (possibly non-injective) variable map, yielding
+    the homomorphic image h(q). Head variables must be fixed by [f]. *)
+val quotient : (string -> string) -> t -> t
+
+(** Freeze: the canonical database of the body (variables become fresh
+    constants) together with the freeze mapping. *)
+val freeze : t -> Database.t * Mapping.t
+
+(** Canonical textual form, stable under atom reordering (for memo keys). *)
+val canonical_key : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+open Relational
+
+type t = {
+  vars : String_set.t;
+  rows : Mapping.Set.t;
+}
+
+let make vars rows =
+  List.iter
+    (fun r ->
+      if not (String_set.equal (Mapping.domain r) vars) then
+        invalid_arg "Relation.make: row domain mismatch")
+    rows;
+  { vars; rows = Mapping.Set.of_list rows }
+
+let vars r = r.vars
+let rows r = Mapping.Set.elements r.rows
+let cardinal r = Mapping.Set.cardinal r.rows
+let is_empty r = Mapping.Set.is_empty r.rows
+let unit = { vars = String_set.empty; rows = Mapping.Set.singleton Mapping.empty }
+
+(* index rows by their restriction to [key] *)
+let index key r =
+  let tbl = Hashtbl.create (max 16 (Mapping.Set.cardinal r.rows)) in
+  Mapping.Set.iter
+    (fun row ->
+      let k = Format.asprintf "%a" Mapping.pp (Mapping.restrict key row) in
+      Hashtbl.add tbl k row)
+    r.rows;
+  tbl
+
+let join r s =
+  let shared = String_set.inter r.vars s.vars in
+  let small, large = if cardinal r <= cardinal s then (r, s) else (s, r) in
+  let idx = index shared small in
+  let out = ref Mapping.Set.empty in
+  Mapping.Set.iter
+    (fun row ->
+      let k = Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row) in
+      List.iter
+        (fun row' -> out := Mapping.Set.add (Mapping.union row row') !out)
+        (Hashtbl.find_all idx k))
+    large.rows;
+  { vars = String_set.union r.vars s.vars; rows = !out }
+
+let semijoin r s =
+  let shared = String_set.inter r.vars s.vars in
+  let keys = Hashtbl.create 64 in
+  Mapping.Set.iter
+    (fun row ->
+      Hashtbl.replace keys
+        (Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row))
+        ())
+    s.rows;
+  { r with
+    rows =
+      Mapping.Set.filter
+        (fun row ->
+          Hashtbl.mem keys
+            (Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row)))
+        r.rows }
+
+let project vars r =
+  let vars = String_set.inter vars r.vars in
+  { vars;
+    rows = Mapping.Set.map (Mapping.restrict vars) r.rows }
+
+let extend_all r x values =
+  if String_set.mem x r.vars then invalid_arg "Relation.extend_all: variable present";
+  { vars = String_set.add x r.vars;
+    rows =
+      Mapping.Set.fold
+        (fun row acc ->
+          List.fold_left (fun acc v -> Mapping.Set.add (Mapping.add x v row) acc) acc values)
+        r.rows Mapping.Set.empty }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>vars %a (%d rows)@,%a@]" String_set.pp r.vars (cardinal r)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Mapping.pp)
+    (rows r)

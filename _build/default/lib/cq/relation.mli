@@ -1,0 +1,34 @@
+(** In-memory relations: sets of mappings over a fixed variable set, with the
+    join/semijoin/project algebra used by the Yannakakis-style evaluator. *)
+
+open Relational
+
+type t = private {
+  vars : String_set.t;
+  rows : Mapping.Set.t;
+}
+
+(** @raise Invalid_argument if some row is not defined on exactly [vars]. *)
+val make : String_set.t -> Mapping.t list -> t
+
+val vars : t -> String_set.t
+val rows : t -> Mapping.t list
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** The relation with no variables and one (empty) row: the join unit. *)
+val unit : t
+
+(** Natural join (hash join on the shared variables). *)
+val join : t -> t -> t
+
+(** [semijoin r s]: rows of [r] that join with some row of [s]. *)
+val semijoin : t -> t -> t
+
+val project : String_set.t -> t -> t
+
+(** [extend_all r x values]: cross product with a fresh variable ranging over
+    [values] (used for decomposition bags not fully covered by atoms). *)
+val extend_all : t -> string -> Value.t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hypergraph/beta.ml: Array Hypergraph Hypertree Int List Option Relational String_set

@@ -1,0 +1,1 @@
+lib/hypergraph/beta.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/hypergraph/gyo.ml: Array Format Hypergraph List Option Relational String_set

@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Format List Relational String_set

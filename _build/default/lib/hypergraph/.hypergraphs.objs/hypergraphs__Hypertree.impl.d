@@ -1,0 +1,1 @@
+lib/hypergraph/hypertree.ml: Array Fun Gyo Hashtbl Hypergraph List Option Relational String String_set Tree_decomposition

@@ -1,0 +1,1 @@
+lib/hypergraph/hypertree.mli: Hypergraph Relational String_set

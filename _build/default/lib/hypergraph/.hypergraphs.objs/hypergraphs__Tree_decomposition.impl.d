@@ -1,0 +1,1 @@
+lib/hypergraph/tree_decomposition.ml: Array Format Fun Hashtbl Hypergraph List Map Option Relational String String_set

@@ -1,0 +1,1 @@
+lib/hypergraph/tree_decomposition.mli: Format Hypergraph Relational String_set

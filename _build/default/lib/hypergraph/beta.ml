@@ -1,0 +1,58 @@
+open Relational
+
+(* A nest point is a vertex whose incident edges form a chain under ⊆.  A
+   hypergraph is β-acyclic iff repeatedly removing nest points (and then
+   empty edges) eliminates all vertices. *)
+let is_beta_acyclic hg =
+  let edges = ref (List.filter (fun e -> not (String_set.is_empty e)) (Hypergraph.edges hg)) in
+  let verts = ref (Hypergraph.vertices hg) in
+  let incident v = List.filter (String_set.mem v) !edges in
+  let is_chain es =
+    let sorted = List.sort (fun a b -> Int.compare (String_set.cardinal a) (String_set.cardinal b)) es in
+    let rec ok = function
+      | a :: (b :: _ as rest) -> String_set.subset a b && ok rest
+      | [ _ ] | [] -> true
+    in
+    ok sorted
+  in
+  let changed = ref true in
+  while !changed && not (String_set.is_empty !verts) do
+    changed := false;
+    match String_set.choose_opt (String_set.filter (fun v -> is_chain (incident v)) !verts) with
+    | Some v ->
+        verts := String_set.remove v !verts;
+        edges :=
+          List.filter_map
+            (fun e ->
+              let e' = String_set.remove v e in
+              if String_set.is_empty e' then None else Some e')
+            !edges;
+        changed := true
+    | None -> ()
+  done;
+  String_set.is_empty !verts
+
+let beta_ghw_at_most hg k =
+  if k < 1 then Hypergraph.num_edges hg = 0
+  else if k = 1 then is_beta_acyclic hg
+  else begin
+    let edges = Array.of_list (Hypergraph.edges hg) in
+    let m = Array.length edges in
+    if m > 20 then
+      invalid_arg "Beta.beta_ghw_at_most: too many edges for the exhaustive sweep";
+    let ok = ref true in
+    let mask = ref 1 in
+    while !ok && !mask < 1 lsl m do
+      let sub = Hypergraph.sub_edges hg (fun i -> !mask land (1 lsl i) <> 0) in
+      if Option.is_none (Hypertree.ghw_at_most sub k) then ok := false;
+      incr mask
+    done;
+    !ok
+  end
+
+let beta_ghw hg =
+  if Hypergraph.num_edges hg = 0 then 0
+  else begin
+    let rec go k = if beta_ghw_at_most hg k then k else go (k + 1) in
+    go 1
+  end

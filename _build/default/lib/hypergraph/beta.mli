@@ -1,0 +1,20 @@
+(** β-acyclicity and β-hypertreewidth [HW′(k)] (Section 5).
+
+    [HW′(k)] restricts [HW(k)] to CQs all of whose subqueries have
+    hypertreewidth at most [k]; for [k = 1] this is β-acyclicity, which admits
+    a polynomial nest-point elimination test (Fagin [11]). For [k >= 2] the
+    definition quantifies over all edge subsets; we implement the literal
+    sweep (the paper notes that no efficient recognition algorithm is known —
+    its upper bounds pay an NP oracle exactly for this test). *)
+
+
+(** Polynomial β-acyclicity test by nest-point elimination. *)
+val is_beta_acyclic : Hypergraph.t -> bool
+
+(** [beta_ghw_at_most hg k] decides whether every subhypergraph (edge subset)
+    of [hg] has generalized hypertreewidth <= k. Polynomial for [k = 1];
+    exponential sweep otherwise. *)
+val beta_ghw_at_most : Hypergraph.t -> int -> bool
+
+(** Exact β-hypertreewidth. *)
+val beta_ghw : Hypergraph.t -> int

@@ -1,0 +1,74 @@
+open Relational
+
+type t = {
+  verts : String_set.t;
+  edges : String_set.t list;
+}
+
+let of_edges edges =
+  let verts = List.fold_left String_set.union String_set.empty edges in
+  { verts; edges }
+
+let make ~vertices ~edges =
+  let edges = List.map String_set.of_list edges in
+  let verts =
+    List.fold_left String_set.union (String_set.of_list vertices) edges
+  in
+  { verts; edges }
+
+let vertices hg = hg.verts
+let edges hg = hg.edges
+let num_vertices hg = String_set.cardinal hg.verts
+let num_edges hg = List.length hg.edges
+let is_empty hg = String_set.is_empty hg.verts
+
+let neighbours hg v =
+  List.fold_left
+    (fun acc e -> if String_set.mem v e then String_set.union acc e else acc)
+    String_set.empty hg.edges
+  |> String_set.remove v
+
+let primal hg =
+  String_set.elements hg.verts |> List.map (fun v -> (v, neighbours hg v))
+
+let induced hg vs =
+  let edges =
+    List.filter_map
+      (fun e ->
+        let e' = String_set.inter e vs in
+        if String_set.is_empty e' then None else Some e')
+      hg.edges
+  in
+  { verts = String_set.inter hg.verts vs; edges }
+
+let sub_edges hg sel =
+  let edges = List.filteri (fun i _ -> sel i) hg.edges in
+  of_edges edges
+
+let components_within hg vs =
+  let rec explore frontier seen =
+    if String_set.is_empty frontier then seen
+    else
+      let next =
+        String_set.fold
+          (fun v acc -> String_set.union acc (String_set.inter (neighbours hg v) vs))
+          frontier String_set.empty
+      in
+      let seen' = String_set.union seen frontier in
+      explore (String_set.diff next seen') seen'
+  in
+  let rec go remaining acc =
+    match String_set.choose_opt remaining with
+    | None -> List.rev acc
+    | Some v ->
+        let comp = explore (String_set.singleton v) String_set.empty in
+        go (String_set.diff remaining comp) (comp :: acc)
+  in
+  go vs []
+
+let components hg = components_within hg hg.verts
+
+let pp ppf hg =
+  Format.fprintf ppf "@[<v>V = %a@,E = [%a]@]" String_set.pp hg.verts
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") String_set.pp)
+    hg.edges

@@ -1,0 +1,41 @@
+(** Hypergraphs over named vertices, as underlying structures of CQs
+    (Section 3.1 of the paper). *)
+
+open Relational
+
+type t
+
+(** [make ~vertices ~edges] builds a hypergraph; vertices mentioned in edges
+    are added automatically (so isolated vertices can be listed explicitly). *)
+val make : vertices:string list -> edges:string list list -> t
+
+val of_edges : String_set.t list -> t
+
+val vertices : t -> String_set.t
+val edges : t -> String_set.t list
+val num_vertices : t -> int
+val num_edges : t -> int
+
+val is_empty : t -> bool
+
+(** Neighbours of a vertex in the primal graph (co-occurring in some edge),
+    excluding the vertex itself. *)
+val neighbours : t -> string -> String_set.t
+
+(** Primal (Gaifman) graph as adjacency sets. *)
+val primal : t -> (string * String_set.t) list
+
+(** [induced hg vs] restricts every edge to [vs], dropping empty edges. *)
+val induced : t -> String_set.t -> t
+
+(** [sub_edges hg sel] keeps the edges whose index satisfies [sel]. *)
+val sub_edges : t -> (int -> bool) -> t
+
+(** Connected components of the vertex set (via the primal graph). *)
+val components : t -> String_set.t list
+
+(** [components_within hg vs] connected components of the subgraph induced by
+    [vs]. *)
+val components_within : t -> String_set.t -> String_set.t list
+
+val pp : Format.formatter -> t -> unit

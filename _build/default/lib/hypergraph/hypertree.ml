@@ -1,0 +1,158 @@
+open Relational
+
+type t = {
+  bags : String_set.t array;
+  guards : String_set.t list array;
+  tree : (int * int) list;
+}
+
+let width htd =
+  Array.fold_left (fun w g -> max w (List.length g)) 0 htd.guards
+
+let is_valid hg htd =
+  let td = { Tree_decomposition.bags = htd.bags; tree = htd.tree } in
+  Tree_decomposition.is_valid hg td
+  && Array.for_all2
+       (fun bag guards ->
+         String_set.subset bag
+           (List.fold_left String_set.union String_set.empty guards))
+       htd.bags htd.guards
+
+(* [combos k xs] enumerates subsets of size 1..k of [xs]. *)
+let combos k xs =
+  let rec go k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> [ [] ]
+      | x :: rest ->
+          let with_x = List.map (fun c -> x :: c) (go (k - 1) rest) in
+          go k rest @ with_x
+  in
+  List.filter (fun c -> c <> []) (go k xs)
+
+let of_join_forest hg jf =
+  let edges = Array.of_list (Hypergraph.edges hg) in
+  let n = Array.length edges in
+  if n = 0 then
+    { bags = [| String_set.empty |]; guards = [| [] |]; tree = [] }
+  else begin
+    (* one decomposition node per edge; connect forest roots to root 0 *)
+    let tree = ref jf.Gyo.parents in
+    List.iteri
+      (fun i r ->
+        ignore i;
+        match jf.Gyo.roots with
+        | r0 :: _ when r <> r0 -> tree := (r, r0) :: !tree
+        | _ -> ())
+      jf.Gyo.roots;
+    { bags = Array.map Fun.id edges;
+      guards = Array.init n (fun i -> [ edges.(i) ]);
+      tree = !tree }
+  end
+
+(* Exact ghw <= k via recursive component decomposition.
+
+   solve comp conn: [comp] is a connected set of vertices still to cover and
+   [conn] the connector vertices that the chosen bag must contain.  We pick a
+   guard (<= k edges); its bag is (union of guard) ∩ (comp ∪ conn).  The bag
+   must cover conn, and must make progress.  Each remaining component of
+   comp \ bag recurses with its neighbourhood as connector.  Returns the list
+   of decomposition nodes created, as a tree hanging from the first node. *)
+exception No_decomp
+
+let ghw_at_most hg k =
+  if k < 1 then None
+  else if Hypergraph.num_edges hg = 0 then
+    Some { bags = [| String_set.empty |]; guards = [| [] |]; tree = [] }
+  else if k = 1 then
+    match Gyo.join_forest hg with
+    | Some jf -> Some (of_join_forest hg jf)
+    | None -> None
+  else begin
+    let all_edges = Hypergraph.edges hg in
+    let memo : (string, bool) Hashtbl.t = Hashtbl.create 256 in
+    let key comp conn =
+      String.concat "," (String_set.elements comp)
+      ^ "|"
+      ^ String.concat "," (String_set.elements conn)
+    in
+    (* nodes accumulated imperatively; returns index of subtree root *)
+    let bags = ref [] and guards = ref [] and tree = ref [] and count = ref 0 in
+    let add_node bag guard parent =
+      let i = !count in
+      incr count;
+      bags := bag :: !bags;
+      guards := guard :: !guards;
+      (match parent with
+      | Some p -> tree := (i, p) :: !tree
+      | None -> ());
+      i
+    in
+    let rec solve comp conn parent =
+      if Hashtbl.find_opt memo (key comp conn) = Some false then raise No_decomp;
+      let relevant = String_set.union comp conn in
+      let candidates = combos k all_edges in
+      let try_guard guard =
+        let cover = List.fold_left String_set.union String_set.empty guard in
+        let bag = String_set.inter cover relevant in
+        if not (String_set.subset conn bag) then None
+        else begin
+          let rest = String_set.diff comp bag in
+          if String_set.equal rest comp && not (String_set.is_empty comp) then None
+          else begin
+            (* snapshot for rollback on failure *)
+            let s_b = !bags and s_g = !guards and s_t = !tree and s_c = !count in
+            let node = add_node bag guard parent in
+            let comps = Hypergraph.components_within hg rest in
+            try
+              List.iter
+                (fun c ->
+                  let conn' =
+                    String_set.fold
+                      (fun v acc ->
+                        String_set.union acc
+                          (String_set.inter (Hypergraph.neighbours hg v) bag))
+                      c String_set.empty
+                  in
+                  solve c conn' (Some node))
+                comps;
+              Some node
+            with No_decomp ->
+              bags := s_b;
+              guards := s_g;
+              tree := s_t;
+              count := s_c;
+              None
+          end
+        end
+      in
+      let rec first = function
+        | [] ->
+            Hashtbl.replace memo (key comp conn) false;
+            raise No_decomp
+        | g :: rest -> (
+            match try_guard g with
+            | Some _ -> ()
+            | None -> first rest)
+      in
+      first candidates
+    in
+    try
+      let comps = Hypergraph.components hg in
+      let root = add_node String_set.empty [] None in
+      List.iter (fun c -> solve c String_set.empty (Some root)) comps;
+      let bags = Array.of_list (List.rev !bags) in
+      let guards = Array.of_list (List.rev !guards) in
+      (* give the artificial root a real guard so width >= 1 nodes validate *)
+      guards.(0) <- [];
+      Some { bags; guards; tree = !tree }
+    with No_decomp -> None
+  end
+
+let ghw hg =
+  if Hypergraph.num_edges hg = 0 then 0
+  else begin
+    let rec go k = if Option.is_some (ghw_at_most hg k) then k else go (k + 1) in
+    go 1
+  end

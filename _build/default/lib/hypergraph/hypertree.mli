@@ -1,0 +1,26 @@
+(** Generalized hypertree decompositions and (generalized) hypertreewidth
+    [HW(k)] (Section 3.1; the paper works with the generalized notion and
+    calls it hypertreewidth). *)
+
+open Relational
+
+type t = {
+  bags : String_set.t array;       (** [ν] *)
+  guards : String_set.t list array; (** [κ]: each bag's covering edges *)
+  tree : (int * int) list;
+}
+
+val width : t -> int
+
+(** Validates: (bags, tree) is a tree decomposition and every bag is covered
+    by the union of its guards. *)
+val is_valid : Hypergraph.t -> t -> bool
+
+(** [ghw_at_most hg k] decides generalized hypertreewidth <= k by exact
+    separator-based search with memoization. Exponential in the number of
+    edges in the worst case (the problem is NP-hard for k >= 2); intended for
+    query-sized hypergraphs. [k = 1] is answered by GYO in polynomial time. *)
+val ghw_at_most : Hypergraph.t -> int -> t option
+
+(** Exact generalized hypertreewidth (iterates [ghw_at_most]). *)
+val ghw : Hypergraph.t -> int

@@ -1,0 +1,297 @@
+open Relational
+
+type t = {
+  bags : String_set.t array;
+  tree : (int * int) list;
+}
+
+let width td =
+  Array.fold_left (fun w b -> max w (String_set.cardinal b - 1)) (-1) td.bags
+
+let is_tree_shaped td =
+  (* acyclicity of the bag graph via union-find *)
+  let n = Array.length td.bags in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  List.for_all
+    (fun (a, b) ->
+      let ra = find a and rb = find b in
+      if ra = rb then false
+      else begin
+        parent.(ra) <- rb;
+        true
+      end)
+    td.tree
+
+let is_valid hg td =
+  let covers_edges =
+    List.for_all
+      (fun e -> Array.exists (fun b -> String_set.subset e b) td.bags)
+      (Hypergraph.edges hg)
+  in
+  let covers_vertices =
+    String_set.for_all
+      (fun v -> Array.exists (String_set.mem v) td.bags)
+      (Hypergraph.vertices hg)
+  in
+  (* connectivity of {bags containing v} in the bag tree, per vertex *)
+  let n = Array.length td.bags in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    td.tree;
+  let connected v =
+    let holds = Array.map (String_set.mem v) td.bags in
+    let start = ref (-1) in
+    Array.iteri (fun i h -> if h && !start < 0 then start := i) holds;
+    if !start < 0 then false
+    else begin
+      let seen = Array.make n false in
+      let rec dfs i =
+        seen.(i) <- true;
+        List.iter (fun j -> if holds.(j) && not seen.(j) then dfs j) adj.(i)
+      in
+      dfs !start;
+      Array.for_all2 (fun h s -> (not h) || s) holds seen
+    end
+  in
+  covers_edges && covers_vertices && is_tree_shaped td
+  && String_set.for_all connected (Hypergraph.vertices hg)
+
+(* ---- elimination orders ---------------------------------------------- *)
+
+module Adj = Map.Make (String)
+
+let initial_adj hg =
+  String_set.fold
+    (fun v acc -> Adj.add v (Hypergraph.neighbours hg v) acc)
+    (Hypergraph.vertices hg) Adj.empty
+
+let eliminate v adj =
+  let nv = Adj.find v adj in
+  let adj = Adj.remove v adj in
+  String_set.fold
+    (fun u acc ->
+      let nu = Adj.find u acc in
+      let nu = String_set.remove v (String_set.union nu (String_set.remove u nv)) in
+      Adj.add u nu acc)
+    nv adj
+
+let of_elimination_order hg order =
+  let n = List.length order in
+  let pos = Hashtbl.create n in
+  List.iteri (fun i v -> Hashtbl.add pos v i) order;
+  let bags = Array.make (max n 1) String_set.empty in
+  let adj = ref (initial_adj hg) in
+  List.iteri
+    (fun i v ->
+      let nv = Adj.find v !adj in
+      bags.(i) <- String_set.add v nv;
+      adj := eliminate v !adj)
+    order;
+  if n = 0 then { bags = [| String_set.empty |]; tree = [] }
+  else begin
+    let tree = ref [] in
+    List.iteri
+      (fun i v ->
+        let rest = String_set.remove v bags.(i) in
+        if not (String_set.is_empty rest) then begin
+          (* connect to the bag of the earliest-eliminated remaining vertex *)
+          let j =
+            String_set.fold (fun u acc -> min acc (Hashtbl.find pos u)) rest max_int
+          in
+          tree := (i, j) :: !tree
+        end)
+      order;
+    (* the hypergraph may be disconnected: link every remaining component of
+       the bag graph to the last bag so the result is a single tree *)
+    let parent = Array.init n Fun.id in
+    let rec find i = if parent.(i) = i then i else find parent.(i) in
+    List.iter
+      (fun (a, b) ->
+        let ra = find a and rb = find b in
+        if ra <> rb then parent.(ra) <- rb)
+      !tree;
+    let root = n - 1 in
+    for i = 0 to n - 2 do
+      let ri = find i and rr = find root in
+      if ri <> rr then begin
+        parent.(ri) <- rr;
+        tree := (i, root) :: !tree
+      end
+    done;
+    { bags; tree = !tree }
+  end
+
+let greedy_order score hg =
+  let rec go adj acc =
+    if Adj.is_empty adj then List.rev acc
+    else
+      let v, _ =
+        Adj.fold
+          (fun v nv best ->
+            let s = score adj v nv in
+            match best with
+            | Some (_, s') when s' <= s -> best
+            | _ -> Some (v, s))
+          adj None
+        |> Option.get
+      in
+      go (eliminate v adj) (v :: acc)
+  in
+  go (initial_adj hg) []
+
+let fill_in adj _v nv =
+  (* number of missing edges among neighbours *)
+  let missing = ref 0 in
+  let elts = String_set.elements nv in
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+        List.iter
+          (fun y -> if not (String_set.mem y (Adj.find x adj)) then incr missing)
+          rest;
+        pairs rest
+  in
+  pairs elts;
+  !missing
+
+let min_fill_order hg = greedy_order fill_in hg
+let min_degree_order hg = greedy_order (fun _ _ nv -> String_set.cardinal nv) hg
+
+let upper_bound hg =
+  let td1 = of_elimination_order hg (min_fill_order hg) in
+  let td2 = of_elimination_order hg (min_degree_order hg) in
+  if width td1 <= width td2 then (width td1, td1) else (width td2, td2)
+
+let lower_bound hg =
+  (* degeneracy: iteratively remove a min-degree vertex of the primal graph *)
+  let rec go adj best =
+    if Adj.is_empty adj then best
+    else
+      let v, d =
+        Adj.fold
+          (fun v nv acc ->
+            let d = String_set.cardinal nv in
+            match acc with
+            | Some (_, d') when d' <= d -> acc
+            | _ -> Some (v, d))
+          adj None
+        |> Option.get
+      in
+      (* plain removal (not elimination) for degeneracy *)
+      let nv = Adj.find v adj in
+      let adj = Adj.remove v adj in
+      let adj =
+        String_set.fold
+          (fun u acc -> Adj.update u (Option.map (String_set.remove v)) acc)
+          nv adj
+      in
+      go adj (max best d)
+  in
+  go (initial_adj hg) 0
+
+(* ---- exact branch-and-bound over elimination orders (bitsets) --------- *)
+
+exception Found of string list
+
+let exact_order hg k =
+  (* Is treewidth <= k? If so return a witnessing elimination order. *)
+  let verts = String_set.elements (Hypergraph.vertices hg) in
+  let n = List.length verts in
+  if n > 62 then None
+  else begin
+    let idx = Hashtbl.create n in
+    List.iteri (fun i v -> Hashtbl.add idx v i) verts;
+    let name = Array.of_list verts in
+    let adj0 = Array.make n 0 in
+    List.iter
+      (fun e ->
+        let is = List.map (Hashtbl.find idx) (String_set.elements e) in
+        List.iter
+          (fun i -> List.iter (fun j -> if i <> j then adj0.(i) <- adj0.(i) lor (1 lsl j)) is)
+          is)
+      (Hypergraph.edges hg);
+    let popcount x =
+      let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+      go x 0
+    in
+    let failed = Hashtbl.create 1024 in
+    (* search: remaining = bitmask of not-yet-eliminated; adj = current fill graph
+       restricted to remaining *)
+    let rec search remaining adj acc =
+      if remaining = 0 then raise (Found (List.rev acc))
+      else if Hashtbl.mem failed remaining then ()
+      else begin
+        (* tw <= k iff some elimination order only ever eliminates vertices of
+           current degree <= k; the fill graph after eliminating a set is
+           order-independent, so memoizing on the remaining mask is sound *)
+        for v = 0 to n - 1 do
+          if remaining land (1 lsl v) <> 0 then begin
+            let nv = adj.(v) land remaining in
+            let d = popcount nv in
+            if d <= k then begin
+              let adj' = Array.copy adj in
+              let rest = remaining land lnot (1 lsl v) in
+              let ns = ref [] in
+              for u = 0 to n - 1 do
+                if nv land (1 lsl u) <> 0 then ns := u :: !ns
+              done;
+              List.iter
+                (fun u -> adj'.(u) <- adj'.(u) lor (nv land lnot (1 lsl u)))
+                !ns;
+              search rest adj' (name.(v) :: acc)
+            end
+          end
+        done;
+        Hashtbl.add failed remaining ()
+      end
+    in
+    let all = (1 lsl n) - 1 in
+    try
+      search all adj0 [];
+      None
+    with Found order -> Some order
+  end
+
+let treewidth hg =
+  if Hypergraph.num_vertices hg = 0 then -1
+  else begin
+    let ub, _ = upper_bound hg in
+    let lb = lower_bound hg in
+    if Hypergraph.num_vertices hg > 62 then ub
+    else begin
+      let rec refine k =
+        if k >= ub then ub
+        else
+          match exact_order hg k with
+          | Some _ -> k
+          | None -> refine (k + 1)
+      in
+      refine lb
+    end
+  end
+
+let at_most hg k =
+  if Hypergraph.num_vertices hg = 0 then
+    Some { bags = [| String_set.empty |]; tree = [] }
+  else begin
+    let ub, td = upper_bound hg in
+    if ub <= k then Some td
+    else if lower_bound hg > k then None
+    else if Hypergraph.num_vertices hg > 62 then None
+    else
+      match exact_order hg k with
+      | Some order -> Some (of_elimination_order hg order)
+      | None -> None
+  end
+
+let pp ppf td =
+  Array.iteri (fun i b -> Format.fprintf ppf "bag %d: %a@," i String_set.pp b) td.bags;
+  Format.fprintf ppf "tree: %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       (fun ppf (a, b) -> Format.fprintf ppf "%d-%d" a b))
+    td.tree

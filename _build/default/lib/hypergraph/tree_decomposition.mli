@@ -1,0 +1,48 @@
+(** Tree decompositions and treewidth (Section 3.1).
+
+    Exact treewidth is computed by branch-and-bound over elimination orders
+    with memoization (practical for the query sizes WDPTs have, up to ~60
+    variables); heuristic (min-fill / min-degree) orders provide upper bounds
+    for larger inputs. *)
+
+open Relational
+
+type t = {
+  bags : String_set.t array;
+  tree : (int * int) list;  (** edges between bag indices; a tree (or forest) *)
+}
+
+(** Width = max bag size - 1 (paper's convention); [-1] for the empty
+    decomposition. *)
+val width : t -> int
+
+(** Full validation: every hyperedge is covered by some bag, every vertex's
+    bags form a connected subtree, and [tree] is acyclic. *)
+val is_valid : Hypergraph.t -> t -> bool
+
+(** [of_elimination_order hg order] builds the decomposition induced by
+    eliminating vertices in [order] (which must enumerate the vertices). *)
+val of_elimination_order : Hypergraph.t -> string list -> t
+
+(** Min-fill elimination order (good practical heuristic). *)
+val min_fill_order : Hypergraph.t -> string list
+
+(** Min-degree elimination order. *)
+val min_degree_order : Hypergraph.t -> string list
+
+(** Heuristic upper bound: best of min-fill and min-degree. *)
+val upper_bound : Hypergraph.t -> int * t
+
+(** Degeneracy-based lower bound on treewidth. *)
+val lower_bound : Hypergraph.t -> int
+
+(** Exact treewidth. Falls back to the heuristic upper bound beyond 62
+    vertices (documented approximation; all paper workloads are smaller). *)
+val treewidth : Hypergraph.t -> int
+
+(** [at_most hg k] returns a width-[<= k] decomposition if one exists. Exact
+    for <= 62 vertices; for larger graphs a heuristic decomposition is
+    returned only when it happens to meet the bound. *)
+val at_most : Hypergraph.t -> int -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rdf/algebra.ml: Cq Graph List Mapping Mapping_algebra Relational Sparql String_set Triple

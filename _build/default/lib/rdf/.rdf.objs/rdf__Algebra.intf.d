@@ -1,0 +1,1 @@
+lib/rdf/algebra.mli: Graph Mapping Relational Sparql

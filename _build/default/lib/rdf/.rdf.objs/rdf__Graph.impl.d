@@ -1,0 +1,1 @@
+lib/rdf/graph.ml: Database Format List Mapping Printf Relational String Triple Value

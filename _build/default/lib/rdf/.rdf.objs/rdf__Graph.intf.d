@@ -1,0 +1,1 @@
+lib/rdf/graph.mli: Database Format Mapping Relational Triple

@@ -1,0 +1,1 @@
+lib/rdf/sparql.ml: Format List Relational String String_set Term Triple Value Wdpt

@@ -1,0 +1,1 @@
+lib/rdf/sparql.mli: Format Relational Triple Wdpt

@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Atom Fact Format Relational Term Value

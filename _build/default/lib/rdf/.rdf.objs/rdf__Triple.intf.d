@@ -1,0 +1,1 @@
+lib/rdf/triple.mli: Atom Fact Format Relational Term Value

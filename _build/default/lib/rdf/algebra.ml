@@ -1,0 +1,18 @@
+open Relational
+
+let bgp_eval g patterns =
+  let db = Graph.database g in
+  let atoms = List.map Triple.pattern_to_atom patterns in
+  Mapping.Set.of_list (Cq.Eval.homomorphisms db atoms ~init:Mapping.empty)
+
+let rec eval_expr g = function
+  | Sparql.Bgp ps -> bgp_eval g ps
+  | Sparql.And (p1, p2) -> Mapping_algebra.join (eval_expr g p1) (eval_expr g p2)
+  | Sparql.Opt (p1, p2) ->
+      Mapping_algebra.left_outer_join (eval_expr g p1) (eval_expr g p2)
+
+let eval g { Sparql.select; where } =
+  let sols = eval_expr g where in
+  match select with
+  | None -> sols
+  | Some vs -> Mapping_algebra.project (String_set.of_list vs) sols

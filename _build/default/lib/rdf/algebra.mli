@@ -1,0 +1,20 @@
+(** The original SPARQL algebra semantics of Pérez et al. [18] for the
+    {AND, OPT} fragment:
+
+    - ⟦BGP⟧ = the mappings with domain vars(BGP) embedding every triple,
+    - ⟦P₁ AND P₂⟧ = ⟦P₁⟧ ⋈ ⟦P₂⟧ (compatible unions),
+    - ⟦P₁ OPT P₂⟧ = (⟦P₁⟧ ⋈ ⟦P₂⟧) ∪ (⟦P₁⟧ ∖ ⟦P₂⟧).
+
+    For *well-designed* patterns this coincides with the WDPT semantics of
+    Definition 2 (the theorem of Letelier et al. [17] that justifies pattern
+    trees); the test suite cross-validates the two implementations. Unlike
+    the WDPT engine, this evaluator also gives meaning to non-well-designed
+    patterns. *)
+
+open Relational
+
+(** All solution mappings of a graph pattern. *)
+val eval_expr : Graph.t -> Sparql.expr -> Mapping.Set.t
+
+(** Evaluation of a full query (projection applied). *)
+val eval : Graph.t -> Sparql.query -> Mapping.Set.t

@@ -1,0 +1,89 @@
+open Relational
+
+type t = Database.t
+
+let create () = Database.create ()
+let add g tr = Database.add g (Triple.to_fact tr)
+
+let of_triples ts =
+  let g = create () in
+  List.iter (add g) ts;
+  g
+
+let size = Database.size
+let triples g = List.map Triple.of_fact (Database.facts g)
+let database g = g
+
+let match_pattern g pat =
+  Database.matches g (Triple.pattern_to_atom pat) Mapping.empty
+
+(* --- tiny line format --------------------------------------------------- *)
+
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match line.[i] with
+      | ' ' | '\t' -> go (i + 1) acc
+      | '#' -> Ok (List.rev acc)
+      | '"' ->
+          let rec close j =
+            if j >= n then Error "unterminated string"
+            else if line.[j] = '"' then Ok j
+            else close (j + 1)
+          in
+          (match close (i + 1) with
+          | Error e -> Error e
+          | Ok j -> go (j + 1) (String.sub line (i + 1) (j - i - 1) :: acc))
+      | _ ->
+          let rec word j =
+            if j >= n || line.[j] = ' ' || line.[j] = '\t' then j else word (j + 1)
+          in
+          let j = word i in
+          go j (String.sub line i (j - i) :: acc)
+  in
+  go 0 []
+
+let value_of_token tok =
+  if String.length tok > 0 && tok.[0] = '?' then
+    Error ("variable " ^ tok ^ " not allowed in data")
+  else
+    match int_of_string_opt tok with
+    | Some i -> Ok (Value.Int i)
+    | None -> Ok (Value.Str tok)
+
+let triple_of_line line =
+  match tokenize line with
+  | Error e -> Error e
+  | Ok toks -> (
+      let toks = List.filter (fun t -> t <> ".") toks in
+      match toks with
+      | [ s; p; o ] -> (
+          match (value_of_token s, value_of_token p, value_of_token o) with
+          | Ok s, Ok p, Ok o -> Ok (Triple.make s p o)
+          | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+      | [] -> Error "empty line"
+      | _ -> Error ("expected 3 terms: " ^ line))
+
+let of_string doc =
+  let g = create () in
+  let lines = String.split_on_char '\n' doc in
+  let rec go n = function
+    | [] -> Ok g
+    | line :: rest ->
+        let stripped = String.trim line in
+        if stripped = "" || stripped.[0] = '#' then go (n + 1) rest
+        else
+          match triple_of_line stripped with
+          | Ok t ->
+              add g t;
+              go (n + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+  in
+  go 1 lines
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Triple.pp)
+    (triples g)

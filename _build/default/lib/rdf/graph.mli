@@ -1,0 +1,27 @@
+(** Triple stores: a thin RDF-flavoured wrapper around {!Relational.Database}
+    (which already indexes every (relation, position, value), giving the
+    usual S/P/O access paths). *)
+
+open Relational
+
+type t
+
+val create : unit -> t
+val add : t -> Triple.t -> unit
+val of_triples : Triple.t list -> t
+val size : t -> int
+val triples : t -> Triple.t list
+val database : t -> Database.t
+
+(** [match_pattern g pat] — all bindings of the pattern's variables. *)
+val match_pattern : t -> Triple.pattern -> Mapping.t list
+
+(** Parse a whitespace-separated "s p o ." line ("." optional); tokens are
+    bare words, ?-prefixed tokens are rejected (no variables in data),
+    double-quoted strings may contain spaces, and integers become [Int]. *)
+val triple_of_line : string -> (Triple.t, string) result
+
+(** Parse a whole document, one triple per line; '#' starts a comment. *)
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,295 @@
+open Relational
+
+type expr =
+  | Bgp of Triple.pattern list
+  | And of expr * expr
+  | Opt of expr * expr
+
+type query = {
+  select : string list option;
+  where : expr;
+}
+
+let term_vars t =
+  match Term.as_var t with
+  | Some x -> String_set.singleton x
+  | None -> String_set.empty
+
+let pattern_vars (s, p, o) =
+  String_set.union (term_vars s) (String_set.union (term_vars p) (term_vars o))
+
+let rec vars_of_expr = function
+  | Bgp ps ->
+      List.fold_left
+        (fun acc p -> String_set.union acc (pattern_vars p))
+        String_set.empty ps
+  | And (a, b) | Opt (a, b) -> String_set.union (vars_of_expr a) (vars_of_expr b)
+
+let is_well_designed e =
+  let rec check e outside =
+    match e with
+    | Bgp _ -> true
+    | And (a, b) ->
+        check a (String_set.union outside (vars_of_expr b))
+        && check b (String_set.union outside (vars_of_expr a))
+    | Opt (a, b) ->
+        String_set.subset
+          (String_set.inter (vars_of_expr b) outside)
+          (vars_of_expr a)
+        && check a (String_set.union outside (vars_of_expr b))
+        && check b (String_set.union outside (vars_of_expr a))
+  in
+  check e String_set.empty
+
+let rec normal_form = function
+  | Bgp _ as b -> b
+  | Opt (a, b) -> Opt (normal_form a, normal_form b)
+  | And (a, b) -> (
+      match (normal_form a, normal_form b) with
+      | Opt (a1, a2), nb -> normal_form (Opt (And (a1, nb), a2))
+      | na, Opt (b1, b2) -> normal_form (Opt (And (na, b1), b2))
+      | Bgp xs, Bgp ys -> Bgp (xs @ ys)
+      | (And _ as na), nb | na, (And _ as nb) ->
+          (* normal_form never returns And *)
+          ignore (na, nb);
+          assert false)
+
+let to_pattern_tree { select; where } =
+  if not (is_well_designed where) then
+    invalid_arg "Sparql.to_pattern_tree: pattern is not well-designed";
+  let rec build e : Wdpt.Pattern_tree.spec =
+    match e with
+    | Bgp ps -> Node (List.map Triple.pattern_to_atom ps, [])
+    | Opt (a, b) ->
+        let (Node (atoms, kids)) = build a in
+        Node (atoms, kids @ [ build b ])
+    | And _ -> assert false (* eliminated by normal_form *)
+  in
+  let spec = build (normal_form where) in
+  let free =
+    match select with
+    | None -> String_set.elements (vars_of_expr where)
+    | Some vs -> vs
+  in
+  Wdpt.Pattern_tree.make ~free spec
+
+let of_pattern_tree p =
+  let patterns_of i =
+    List.map
+      (fun a ->
+        match Triple.atom_to_pattern a with
+        | Some pat -> pat
+        | None -> invalid_arg "Sparql.of_pattern_tree: non-triple atom")
+      (Wdpt.Pattern_tree.atoms p i)
+  in
+  let rec build i =
+    let base = Bgp (patterns_of i) in
+    List.fold_left
+      (fun acc c -> Opt (acc, build c))
+      base (Wdpt.Pattern_tree.children p i)
+  in
+  { select = Some (Wdpt.Pattern_tree.free p);
+    where = build (Wdpt.Pattern_tree.root p) }
+
+(* ---- concrete syntax ---------------------------------------------------- *)
+
+type token =
+  | SELECT
+  | WHERE
+  | STAR
+  | OPT_KW
+  | AND_KW
+  | DOT
+  | LBRACE
+  | RBRACE
+  | VAR of string
+  | WORD of string
+  | STRING of string
+  | INT of int
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '"' ->
+          let rec close j =
+            if j >= n then Error "unterminated string literal"
+            else if src.[j] = '"' then Ok j
+            else close (j + 1)
+          in
+          (match close (i + 1) with
+          | Error e -> Error e
+          | Ok j -> go (j + 1) (STRING (String.sub src (i + 1) (j - i - 1)) :: acc))
+      | '?' ->
+          let rec word j =
+            if j < n
+               && (match src.[j] with
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+                  | _ -> false)
+            then word (j + 1)
+            else j
+          in
+          let j = word (i + 1) in
+          if j = i + 1 then Error "empty variable name"
+          else go j (VAR (String.sub src (i + 1) (j - i - 1)) :: acc)
+      | _ ->
+          let rec word j =
+            if j < n
+               && (match src.[j] with
+                  | ' ' | '\t' | '\n' | '\r' | '{' | '}' | '"' | '?' -> false
+                  | '.' -> false
+                  | _ -> true)
+            then word (j + 1)
+            else j
+          in
+          let j = word i in
+          let w = String.sub src i (j - i) in
+          let tok =
+            match String.uppercase_ascii w with
+            | "SELECT" -> SELECT
+            | "WHERE" -> WHERE
+            | "OPT" | "OPTIONAL" -> OPT_KW
+            | "AND" -> AND_KW
+            | _ -> (
+                match int_of_string_opt w with
+                | Some k -> INT k
+                | None -> WORD w)
+          in
+          go j (tok :: acc)
+  in
+  go 0 []
+
+exception Parse_error of string
+
+let parse src =
+  match tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let toks = ref toks in
+      let peek () = match !toks with t :: _ -> Some t | [] -> None in
+      let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+      let expect t name =
+        match peek () with
+        | Some t' when t' = t -> advance ()
+        | _ -> raise (Parse_error ("expected " ^ name))
+      in
+      let term () =
+        match peek () with
+        | Some (VAR x) ->
+            advance ();
+            Term.var x
+        | Some (WORD w) ->
+            advance ();
+            Term.str w
+        | Some (STRING s) ->
+            advance ();
+            Term.str s
+        | Some (INT k) ->
+            advance ();
+            Term.int k
+        | _ -> raise (Parse_error "expected a term")
+      in
+      let triple () =
+        let s = term () in
+        let p = term () in
+        let o = term () in
+        (s, p, o)
+      in
+      (* pattern := primary (('OPT'|'AND'|'.') primary)*  left-assoc *)
+      let rec primary () =
+        match peek () with
+        | Some LBRACE ->
+            advance ();
+            let e = pattern () in
+            expect RBRACE "}";
+            e
+        | Some (VAR _ | WORD _ | STRING _ | INT _) -> Bgp [ triple () ]
+        | _ -> raise (Parse_error "expected a group or a triple")
+      and pattern () =
+        let rec loop acc =
+          match peek () with
+          | Some OPT_KW ->
+              advance ();
+              loop (Opt (acc, primary ()))
+          | Some (AND_KW | DOT) ->
+              advance ();
+              (* trailing dot before '}' is allowed *)
+              (match peek () with
+              | Some RBRACE | None -> acc
+              | _ -> loop (And (acc, primary ())))
+          | Some (VAR _ | WORD _ | STRING _ | INT _ | LBRACE) ->
+              (* juxtaposition also means AND *)
+              loop (And (acc, primary ()))
+          | _ -> acc
+        in
+        loop (primary ())
+      in
+      try
+        expect SELECT "SELECT";
+        let select =
+          match peek () with
+          | Some STAR ->
+              advance ();
+              None
+          | _ ->
+              let rec vars acc =
+                match peek () with
+                | Some (VAR x) ->
+                    advance ();
+                    vars (x :: acc)
+                | _ -> List.rev acc
+              in
+              let vs = vars [] in
+              if vs = [] then raise (Parse_error "expected variables or * after SELECT");
+              Some vs
+        in
+        expect WHERE "WHERE";
+        let where = pattern () in
+        (match peek () with
+        | None -> ()
+        | Some _ -> raise (Parse_error "trailing tokens"));
+        Ok { select; where }
+      with Parse_error e -> Error e)
+
+let parse_and_translate src =
+  match parse src with
+  | Error e -> Error e
+  | Ok q -> (
+      try Ok (to_pattern_tree q) with Invalid_argument e -> Error e)
+
+let pp_term ppf t =
+  match t with
+  | Term.Var x -> Format.fprintf ppf "?%s" x
+  | Term.Const (Value.Int k) -> Format.pp_print_int ppf k
+  | Term.Const (Value.Str s) ->
+      if String.contains s ' ' then Format.fprintf ppf "%S" s
+      else Format.pp_print_string ppf s
+
+let rec pp_expr ppf = function
+  | Bgp ps ->
+      Format.fprintf ppf "{ %a }"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " . ")
+           (fun ppf (s, p, o) ->
+             Format.fprintf ppf "%a %a %a" pp_term s pp_term p pp_term o))
+        ps
+  | And (a, b) -> Format.fprintf ppf "{ %a AND %a }" pp_expr a pp_expr b
+  | Opt (a, b) -> Format.fprintf ppf "{ %a OPT %a }" pp_expr a pp_expr b
+
+let pp_query ppf { select; where } =
+  (match select with
+  | None -> Format.fprintf ppf "SELECT * "
+  | Some vs ->
+      Format.fprintf ppf "SELECT %a "
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           (fun ppf v -> Format.fprintf ppf "?%s" v))
+        vs);
+  Format.fprintf ppf "WHERE %a" pp_expr where

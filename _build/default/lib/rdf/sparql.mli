@@ -1,0 +1,55 @@
+(** The {AND, OPT} fragment of SPARQL (Section 1), with the well-designedness
+    condition of Pérez et al. [18], the OPT-normal-form translation to WDPTs
+    of Letelier et al. [17], and a small concrete syntax.
+
+    Concrete syntax (algebraic style, as in the paper's Example 1):
+    {v
+      SELECT ?y ?z WHERE {
+        { ?x recorded_by ?y . ?x published "after 2010" }
+        OPT { ?x NME_rating ?z }
+        OPT { ?y formed_in ?z2 }
+      }
+    v}
+    [.] and [AND] both denote conjunction; [OPT]/[OPTIONAL] is left
+    associative with the same precedence, so [a OPT b OPT c] reads
+    [(a OPT b) OPT c]; braces group. [SELECT *] keeps every variable
+    (projection-free). *)
+
+type expr =
+  | Bgp of Triple.pattern list
+  | And of expr * expr
+  | Opt of expr * expr
+
+type query = {
+  select : string list option;  (** [None] = SELECT * *)
+  where : expr;
+}
+
+val vars_of_expr : expr -> Relational.String_set.t
+
+(** Well-designedness of Pérez et al.: for every subpattern [e1 OPT e2],
+    every variable of [e2] occurring outside the subpattern also occurs in
+    [e1]. *)
+val is_well_designed : expr -> bool
+
+(** OPT normal form: no OPT below an AND. Assumes well-designedness (the
+    rewriting [(P1 OPT P2) AND P3 ≡ (P1 AND P3) OPT P2] is only sound
+    then). *)
+val normal_form : expr -> expr
+
+(** Translation to a WDPT over the {!Triple.relation} schema.
+    @raise Invalid_argument if the expression is not well-designed. *)
+val to_pattern_tree : query -> Wdpt.Pattern_tree.t
+
+(** Inverse translation (WDPT over the triple schema only).
+    @raise Invalid_argument on non-triple atoms. *)
+val of_pattern_tree : Wdpt.Pattern_tree.t -> query
+
+(** Parse the concrete syntax. *)
+val parse : string -> (query, string) result
+
+(** [parse_and_translate s] — convenience composition. *)
+val parse_and_translate : string -> (Wdpt.Pattern_tree.t, string) result
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_query : Format.formatter -> query -> unit

@@ -1,0 +1,25 @@
+open Relational
+
+let relation = "triple"
+
+type t = Value.t * Value.t * Value.t
+
+let make s p o = (s, p, o)
+let to_fact (s, p, o) = Fact.make relation [ s; p; o ]
+
+let of_fact f =
+  if Fact.rel f <> relation || Fact.arity f <> 3 then
+    invalid_arg "Triple.of_fact: not a triple"
+  else (Fact.arg f 0, Fact.arg f 1, Fact.arg f 2)
+
+type pattern = Term.t * Term.t * Term.t
+
+let pattern_to_atom (s, p, o) = Atom.make relation [ s; p; o ]
+
+let atom_to_pattern a =
+  match Atom.args a with
+  | [ s; p; o ] when Atom.rel a = relation -> Some (s, p, o)
+  | _ -> None
+
+let pp ppf (s, p, o) =
+  Format.fprintf ppf "(%a, %a, %a)" Value.pp s Value.pp p Value.pp o

@@ -1,0 +1,24 @@
+(** RDF triples: the single ternary relation of "RDF WDPTs" (Section 2).
+
+    The relation name used throughout the RDF layer is {!relation}. *)
+
+open Relational
+
+(** The distinguished ternary relation name. *)
+val relation : string
+
+(** A ground triple (subject, predicate, object). *)
+type t = Value.t * Value.t * Value.t
+
+val make : Value.t -> Value.t -> Value.t -> t
+val to_fact : t -> Fact.t
+
+(** @raise Invalid_argument if the fact is not a triple over {!relation}. *)
+val of_fact : Fact.t -> t
+
+(** Triple pattern: terms in the three positions. *)
+type pattern = Term.t * Term.t * Term.t
+
+val pattern_to_atom : pattern -> Atom.t
+val atom_to_pattern : Atom.t -> pattern option
+val pp : Format.formatter -> t -> unit

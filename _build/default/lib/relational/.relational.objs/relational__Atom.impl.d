@@ -1,0 +1,1 @@
+lib/relational/atom.ml: Array Fact Format Hashtbl Int List Set String String_set Term

@@ -1,0 +1,1 @@
+lib/relational/atom.mli: Fact Format Set String_set Term Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Atom Fact Format Fun Hashtbl List Mapping Schema String Term Value

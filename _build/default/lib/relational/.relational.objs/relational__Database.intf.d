@@ -1,0 +1,1 @@
+lib/relational/database.mli: Atom Fact Format Mapping Schema Value

@@ -1,0 +1,1 @@
+lib/relational/mapping.ml: Atom Fact Format List Map Set String String_set Term Value

@@ -1,0 +1,1 @@
+lib/relational/mapping.mli: Atom Fact Format Set String_set Term Value

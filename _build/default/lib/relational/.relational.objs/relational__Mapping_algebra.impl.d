@@ -1,0 +1,1 @@
+lib/relational/mapping_algebra.ml: Mapping

@@ -1,0 +1,1 @@
+lib/relational/mapping_algebra.mli: Mapping String_set

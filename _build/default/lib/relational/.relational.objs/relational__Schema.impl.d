@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Atom Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/relational/string_set.ml: Format Set String

@@ -1,0 +1,87 @@
+type t = {
+  rel : string;
+  args : Term.t array;
+}
+
+let make rel args = { rel; args = Array.of_list args }
+let of_array rel args = { rel; args = Array.copy args }
+let rel a = a.rel
+let args a = Array.to_list a.args
+let arity a = Array.length a.args
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let ca = Array.length a.args and cb = Array.length b.args in
+    if ca <> cb then Int.compare ca cb
+    else
+      let rec go i =
+        if i >= ca then 0
+        else
+          let c = Term.compare a.args.(i) b.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iter
+    (function
+      | Term.Var x ->
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.add seen x ();
+            out := x :: !out
+          end
+      | Term.Const _ -> ())
+    a.args;
+  List.rev !out
+
+let var_set a = String_set.of_list (vars a)
+
+let constants a =
+  Array.to_list a.args
+  |> List.filter_map (function
+       | Term.Const v -> Some v
+       | Term.Var _ -> None)
+
+let apply ~f a =
+  let args =
+    Array.map
+      (function
+        | Term.Var x -> f x
+        | Term.Const _ as t -> t)
+      a.args
+  in
+  { a with args }
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+let to_fact a =
+  let tuple =
+    Array.map
+      (function
+        | Term.Const v -> v
+        | Term.Var x -> invalid_arg ("Atom.to_fact: variable " ^ x))
+      a.args
+  in
+  Fact.make a.rel (Array.to_list tuple)
+
+let of_fact f =
+  { rel = Fact.rel f; args = Array.of_list (List.map Term.const (Fact.tuple f)) }
+
+let pp ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Term.pp)
+    (Array.to_list a.args)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

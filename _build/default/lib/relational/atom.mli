@@ -1,0 +1,39 @@
+(** Relational atoms [R(v1, ..., vn)] over variables and constants. *)
+
+type t = private {
+  rel : string;
+  args : Term.t array;
+}
+
+val make : string -> Term.t list -> t
+val of_array : string -> Term.t array -> t
+
+val rel : t -> string
+val args : t -> Term.t list
+val arity : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Variables occurring in the atom, in order of first occurrence. *)
+val vars : t -> string list
+
+val var_set : t -> String_set.t
+
+val constants : t -> Value.t list
+
+(** [apply ~f a] replaces every variable [x] by [f x] (a term), leaving
+    constants untouched. *)
+val apply : f:(string -> Term.t) -> t -> t
+
+val is_ground : t -> bool
+
+(** [to_fact a] converts a ground atom to a fact.
+    @raise Invalid_argument if [a] contains a variable. *)
+val to_fact : t -> Fact.t
+
+val of_fact : Fact.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

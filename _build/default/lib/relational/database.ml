@@ -1,0 +1,139 @@
+type key = {
+  k_rel : string;
+  k_pos : int;
+  k_val : Value.t;
+}
+
+module Key = struct
+  type t = key
+
+  let equal a b =
+    String.equal a.k_rel b.k_rel && a.k_pos = b.k_pos && Value.equal a.k_val b.k_val
+
+  let hash a = Hashtbl.hash (a.k_rel, a.k_pos, Value.hash a.k_val)
+end
+
+module Idx = Hashtbl.Make (Key)
+
+type t = {
+  mutable all : Fact.Set.t;
+  by_rel : (string, Fact.t list ref) Hashtbl.t;
+  by_pos : Fact.t list ref Idx.t;
+  mutable adom : Value.Set.t;
+}
+
+let create () =
+  { all = Fact.Set.empty;
+    by_rel = Hashtbl.create 16;
+    by_pos = Idx.create 64;
+    adom = Value.Set.empty }
+
+let mem db f = Fact.Set.mem f db.all
+
+let add db f =
+  if not (mem db f) then begin
+    db.all <- Fact.Set.add f db.all;
+    let cell =
+      match Hashtbl.find_opt db.by_rel (Fact.rel f) with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add db.by_rel (Fact.rel f) c;
+          c
+    in
+    cell := f :: !cell;
+    List.iteri
+      (fun i v ->
+        let key = { k_rel = Fact.rel f; k_pos = i; k_val = v } in
+        let cell =
+          match Idx.find_opt db.by_pos key with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Idx.add db.by_pos key c;
+              c
+        in
+        cell := f :: !cell;
+        db.adom <- Value.Set.add v db.adom)
+      (Fact.tuple f)
+  end
+
+let of_list fs =
+  let db = create () in
+  List.iter (add db) fs;
+  db
+
+let of_atoms atoms = of_list (List.map Atom.to_fact atoms)
+let size db = Fact.Set.cardinal db.all
+let facts db = Fact.Set.elements db.all
+
+let facts_of db rel =
+  match Hashtbl.find_opt db.by_rel rel with
+  | Some c -> !c
+  | None -> []
+
+let relations db = Hashtbl.fold (fun r _ acc -> r :: acc) db.by_rel []
+
+let schema db =
+  List.fold_left
+    (fun s r ->
+      match facts_of db r with
+      | [] -> s
+      | f :: _ -> Schema.add r (Fact.arity f) s)
+    Schema.empty (relations db)
+
+let active_domain db = db.adom
+
+let candidates db a h =
+  (* Pick the smallest index among the bound positions, defaulting to the
+     whole relation. *)
+  let bound =
+    List.filteri
+      (fun _ _ -> true)
+      (List.mapi
+         (fun i t ->
+           match t with
+           | Term.Const v -> Some (i, v)
+           | Term.Var x -> (
+               match Mapping.find x h with
+               | Some v -> Some (i, v)
+               | None -> None))
+         (Atom.args a))
+    |> List.filter_map Fun.id
+  in
+  let whole = facts_of db (Atom.rel a) in
+  let best =
+    List.fold_left
+      (fun acc (i, v) ->
+        let key = { k_rel = Atom.rel a; k_pos = i; k_val = v } in
+        let l =
+          match Idx.find_opt db.by_pos key with
+          | Some c -> !c
+          | None -> []
+        in
+        match acc with
+        | Some best when List.compare_lengths best l <= 0 -> Some best
+        | _ -> Some l)
+      None bound
+  in
+  match best with
+  | Some l -> l
+  | None -> whole
+
+let matches db a h =
+  List.filter_map (Mapping.matches_fact h a) (candidates db a h)
+
+let copy db =
+  let db' = create () in
+  Fact.Set.iter (add db') db.all;
+  db'
+
+let union a b =
+  let db = copy a in
+  Fact.Set.iter (add db) b.all;
+  db
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Fact.pp)
+    (facts db)

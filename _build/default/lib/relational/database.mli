@@ -1,0 +1,34 @@
+(** Databases: finite sets of facts, with hash indexes per relation and per
+    (relation, position, value) for efficient candidate retrieval during
+    homomorphism search. *)
+
+type t
+
+val create : unit -> t
+val of_list : Fact.t list -> t
+val of_atoms : Atom.t list -> t
+
+(** [add db f] inserts a fact (idempotent). *)
+val add : t -> Fact.t -> unit
+
+val mem : t -> Fact.t -> bool
+val size : t -> int
+val facts : t -> Fact.t list
+val facts_of : t -> string -> Fact.t list
+val relations : t -> string list
+val schema : t -> Schema.t
+
+(** Active domain: every constant occurring in some fact. *)
+val active_domain : t -> Value.Set.t
+
+(** [candidates db a h] returns the facts that atom [a] could match under the
+    partial mapping [h], using the most selective available index (any
+    position of [a] that is a constant or bound by [h]). *)
+val candidates : t -> Atom.t -> Mapping.t -> Fact.t list
+
+(** [matches db a h] extends [h] in all ways that map atom [a] into [db]. *)
+val matches : t -> Atom.t -> Mapping.t -> Mapping.t list
+
+val copy : t -> t
+val union : t -> t -> t
+val pp : Format.formatter -> t -> unit

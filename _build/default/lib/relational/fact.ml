@@ -1,0 +1,44 @@
+type t = {
+  rel : string;
+  tuple : Value.t array;
+}
+
+let make rel tuple = { rel; tuple = Array.of_list tuple }
+let of_array rel tuple = { rel; tuple = Array.copy tuple }
+let rel f = f.rel
+let tuple f = Array.to_list f.tuple
+let arg f i = f.tuple.(i)
+let arity f = Array.length f.tuple
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c
+  else
+    let ca = Array.length a.tuple and cb = Array.length b.tuple in
+    if ca <> cb then Int.compare ca cb
+    else
+      let rec go i =
+        if i >= ca then 0
+        else
+          let c = Value.compare a.tuple.(i) b.tuple.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+
+let hash f =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Hashtbl.hash f.rel) f.tuple
+
+let pp ppf f =
+  Format.fprintf ppf "%s(%a)" f.rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Value.pp)
+    (Array.to_list f.tuple)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

@@ -1,0 +1,22 @@
+(** Facts: ground atoms [R(c1, ..., cn)], the elements of a database. *)
+
+type t = private {
+  rel : string;
+  tuple : Value.t array;
+}
+
+val make : string -> Value.t list -> t
+val of_array : string -> Value.t array -> t
+
+val rel : t -> string
+val tuple : t -> Value.t list
+val arg : t -> int -> Value.t
+val arity : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,17 @@
+let join a b =
+  Mapping.Set.fold
+    (fun m1 acc ->
+      Mapping.Set.fold
+        (fun m2 acc ->
+          if Mapping.compatible m1 m2 then Mapping.Set.add (Mapping.union m1 m2) acc
+          else acc)
+        b acc)
+    a Mapping.Set.empty
+
+let diff a b =
+  Mapping.Set.filter
+    (fun m1 -> not (Mapping.Set.exists (Mapping.compatible m1) b))
+    a
+
+let left_outer_join a b = Mapping.Set.union (join a b) (diff a b)
+let project vars s = Mapping.Set.map (Mapping.restrict vars) s

@@ -1,0 +1,37 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add name arity s =
+  match M.find_opt name s with
+  | Some a when a <> arity ->
+      invalid_arg
+        (Printf.sprintf "Schema.add: %s declared with arities %d and %d" name a arity)
+  | _ -> M.add name arity s
+
+let of_list l = List.fold_left (fun s (n, a) -> add n a s) empty l
+let arity name s = M.find_opt name s
+let mem name s = M.mem name s
+let relations s = M.bindings s
+
+let check_atom s a =
+  match M.find_opt (Atom.rel a) s with
+  | None -> Error (Printf.sprintf "unknown relation %s" (Atom.rel a))
+  | Some ar when ar <> Atom.arity a ->
+      Error
+        (Printf.sprintf "relation %s has arity %d, atom has %d" (Atom.rel a) ar
+           (Atom.arity a))
+  | Some _ -> Ok ()
+
+let infer atoms =
+  List.fold_left (fun s a -> add (Atom.rel a) (Atom.arity a) s) empty atoms
+
+let union a b = M.fold add b a
+
+let pp ppf s =
+  let pp_rel ppf (n, a) = Format.fprintf ppf "%s/%d" n a in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_rel)
+    (relations s)

@@ -1,0 +1,25 @@
+(** Relational schemas: relation names with fixed arities. *)
+
+type t
+
+val empty : t
+
+(** [add name arity s] declares a relation.
+    @raise Invalid_argument if [name] is declared with a different arity. *)
+val add : string -> int -> t -> t
+
+val of_list : (string * int) list -> t
+val arity : string -> t -> int option
+val mem : string -> t -> bool
+val relations : t -> (string * int) list
+
+(** [check_atom s a] verifies that [a] uses a declared relation with the right
+    arity. *)
+val check_atom : t -> Atom.t -> (unit, string) result
+
+(** Infer a schema from a collection of atoms.
+    @raise Invalid_argument on arity conflicts. *)
+val infer : Atom.t list -> t
+
+val union : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(* Sets of variable names, used pervasively. *)
+include Set.Make (String)
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    (elements s)

@@ -1,0 +1,36 @@
+type t =
+  | Var of string
+  | Const of Value.t
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const x, Const y -> Value.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let equal a b = compare a b = 0
+let var x = Var x
+let const v = Const v
+let int x = Const (Value.Int x)
+let str s = Const (Value.Str s)
+
+let is_var = function
+  | Var _ -> true
+  | Const _ -> false
+
+let as_var = function
+  | Var x -> Some x
+  | Const _ -> None
+
+let pp ppf = function
+  | Var x -> Format.fprintf ppf "?%s" x
+  | Const v -> Value.pp ppf v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

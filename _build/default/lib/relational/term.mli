@@ -1,0 +1,22 @@
+(** Terms: variables from [X] or constants from [U]. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val var : string -> t
+val const : Value.t -> t
+val int : int -> t
+val str : string -> t
+
+val is_var : t -> bool
+
+(** [as_var t] is [Some x] when [t] is the variable [x]. *)
+val as_var : t -> string option
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,1 @@
+lib/wdpt/algebra_eval.ml: Cq List Mapping Mapping_algebra Pattern_tree Relational

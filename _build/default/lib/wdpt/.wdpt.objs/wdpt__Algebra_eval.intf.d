@@ -1,0 +1,1 @@
+lib/wdpt/algebra_eval.mli: Database Mapping Pattern_tree Relational

@@ -1,0 +1,1 @@
+lib/wdpt/approximation.ml: Array Classes Hashtbl List Pattern_tree Relational String_set Subsumption

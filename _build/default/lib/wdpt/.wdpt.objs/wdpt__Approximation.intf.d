@@ -1,0 +1,1 @@
+lib/wdpt/approximation.mli: Classes Pattern_tree

@@ -1,0 +1,1 @@
+lib/wdpt/classes.ml: Array Atom Cq Fun Hashtbl Hypergraphs List Option Pattern_tree Relational Seq String_set

@@ -1,0 +1,1 @@
+lib/wdpt/classes.mli: Cq Hypergraphs Pattern_tree

@@ -1,0 +1,1 @@
+lib/wdpt/containment_w.ml: Cq Mapping Pattern_tree Relational Semantics Seq

@@ -1,0 +1,1 @@
+lib/wdpt/containment_w.mli: Database Pattern_tree Relational

@@ -1,0 +1,1 @@
+lib/wdpt/eval_projection_free.ml: Array Atom Cq Database List Mapping Pattern_tree Relational String_set

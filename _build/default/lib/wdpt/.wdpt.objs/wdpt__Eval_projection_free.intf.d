@@ -1,0 +1,1 @@
+lib/wdpt/eval_projection_free.mli: Database Mapping Pattern_tree Relational

@@ -1,0 +1,1 @@
+lib/wdpt/eval_tractable.ml: Array Atom Cq Database Format Hashtbl List Mapping Pattern_tree Relational String_set

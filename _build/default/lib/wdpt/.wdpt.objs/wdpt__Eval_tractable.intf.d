@@ -1,0 +1,1 @@
+lib/wdpt/eval_tractable.mli: Database Mapping Pattern_tree Relational

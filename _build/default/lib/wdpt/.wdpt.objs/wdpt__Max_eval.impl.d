@@ -1,0 +1,1 @@
+lib/wdpt/max_eval.ml: Cq Mapping Pattern_tree Relational String_set

@@ -1,0 +1,1 @@
+lib/wdpt/max_eval.mli: Database Mapping Pattern_tree Relational

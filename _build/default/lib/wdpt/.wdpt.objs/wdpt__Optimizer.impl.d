@@ -1,0 +1,1 @@
+lib/wdpt/optimizer.ml: Approximation Classes Eval_tractable List Mapping Partial_eval Pattern_tree Printf Relational Semantic_opt Semantics

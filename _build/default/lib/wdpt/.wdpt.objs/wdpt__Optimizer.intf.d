@@ -1,0 +1,1 @@
+lib/wdpt/optimizer.mli: Database Mapping Pattern_tree Relational

@@ -1,0 +1,1 @@
+lib/wdpt/partial_eval.ml: Cq Mapping Pattern_tree Relational String_set

@@ -1,0 +1,1 @@
+lib/wdpt/partial_eval.mli: Database Mapping Pattern_tree Relational

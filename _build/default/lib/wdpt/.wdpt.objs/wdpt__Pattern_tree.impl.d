@@ -1,0 +1,1 @@
+lib/wdpt/pattern_tree.ml: Array Atom Cq Format Fun Hashtbl Int List Option Relational Seq String String_set Term

@@ -1,0 +1,1 @@
+lib/wdpt/pattern_tree.mli: Atom Cq Format Relational Seq String_set

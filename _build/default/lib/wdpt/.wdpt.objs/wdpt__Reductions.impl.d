@@ -1,0 +1,1 @@
+lib/wdpt/reductions.ml: Array Atom Database Fact Fun List Mapping Pattern_tree Printf Random Relational Term Value

@@ -1,0 +1,1 @@
+lib/wdpt/reductions.mli: Database Mapping Pattern_tree Relational

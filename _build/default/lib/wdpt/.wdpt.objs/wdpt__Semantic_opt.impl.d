@@ -1,0 +1,1 @@
+lib/wdpt/semantic_opt.ml: Approximation Classes Cq List Max_eval Partial_eval Pattern_tree Semantics Subsumption

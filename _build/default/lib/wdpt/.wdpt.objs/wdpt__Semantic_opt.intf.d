@@ -1,0 +1,1 @@
+lib/wdpt/semantic_opt.mli: Classes Pattern_tree Relational

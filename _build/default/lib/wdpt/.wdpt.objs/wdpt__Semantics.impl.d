@@ -1,0 +1,1 @@
+lib/wdpt/semantics.ml: Cq List Mapping Option Pattern_tree Relational Seq

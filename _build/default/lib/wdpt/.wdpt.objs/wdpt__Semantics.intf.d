@@ -1,0 +1,1 @@
+lib/wdpt/semantics.mli: Database Mapping Pattern_tree Relational

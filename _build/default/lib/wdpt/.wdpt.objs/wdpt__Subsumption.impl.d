@@ -1,0 +1,1 @@
+lib/wdpt/subsumption.ml: Cq Mapping Partial_eval Pattern_tree Relational Seq String_set

@@ -1,0 +1,1 @@
+lib/wdpt/subsumption.mli: Pattern_tree

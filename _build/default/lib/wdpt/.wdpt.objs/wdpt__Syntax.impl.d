@@ -1,0 +1,1 @@
+lib/wdpt/syntax.ml: Atom Database Format List Pattern_tree Printf Relational String Term

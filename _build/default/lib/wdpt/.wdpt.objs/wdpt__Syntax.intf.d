@@ -1,0 +1,1 @@
+lib/wdpt/syntax.mli: Database Fact Pattern_tree Relational Union

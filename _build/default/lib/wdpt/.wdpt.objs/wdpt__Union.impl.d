@@ -1,0 +1,1 @@
+lib/wdpt/union.ml: Classes Cq Eval_tractable Hashtbl List Mapping Max_eval Partial_eval Pattern_tree Relational Semantics Seq String_set

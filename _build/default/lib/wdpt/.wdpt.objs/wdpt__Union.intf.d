@@ -1,0 +1,1 @@
+lib/wdpt/union.mli: Classes Cq Database Mapping Pattern_tree Relational

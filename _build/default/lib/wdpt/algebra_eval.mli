@@ -1,0 +1,22 @@
+(** Bottom-up algebraic evaluation of WDPTs: each subtree's solution set is
+    computed independently and combined with the left-outer-join
+    interpretation of optional matching,
+
+    ⟦t⟧ = ⟦λ(t)⟧ ⟕ ⟦c₁⟧ ⟕ ... ⟕ ⟦cₙ⟧,
+
+    which coincides with Definition 2 on well-designed trees (the
+    correspondence of pattern trees and well-designed {AND, OPT} patterns of
+    Letelier et al. [17]). A third, independent implementation of the
+    semantics, cross-validated in the test suite against the procedural and
+    reference engines. *)
+
+open Relational
+
+(** Solutions of the tree before projection (= the maximal homomorphisms). *)
+val solutions : Database.t -> Pattern_tree.t -> Mapping.Set.t
+
+(** The evaluation p(D). *)
+val eval : Database.t -> Pattern_tree.t -> Mapping.Set.t
+
+(** p_m(D). *)
+val eval_max : Database.t -> Pattern_tree.t -> Mapping.Set.t

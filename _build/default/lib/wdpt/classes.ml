@@ -1,0 +1,112 @@
+open Relational
+
+type width =
+  | Tw
+  | Hw
+  | Hw'
+
+let cq_in_class ~width ~k q =
+  match width with
+  | Tw -> Cq.Query.in_tw ~k q
+  | Hw -> Cq.Query.in_hw ~k q
+  | Hw' -> Cq.Query.in_hw' ~k q
+
+let locally_in ~width ~k p =
+  let ok i =
+    let atoms = Pattern_tree.atoms p i in
+    atoms = [] || cq_in_class ~width ~k (Cq.Query.boolean atoms)
+  in
+  List.for_all ok (Pattern_tree.all_nodes p)
+
+let interface p =
+  let shared i =
+    let vi = Pattern_tree.node_vars p i in
+    let below =
+      List.fold_left
+        (fun acc c -> String_set.union acc (Pattern_tree.node_vars p c))
+        String_set.empty (Pattern_tree.children p i)
+    in
+    String_set.cardinal (String_set.inter vi below)
+  in
+  List.fold_left (fun acc i -> max acc (shared i)) 0 (Pattern_tree.all_nodes p)
+
+let bounded_interface ~c p = interface p <= c
+
+let globally_in ~width ~k p =
+  match width with
+  | Tw | Hw' ->
+      (* treewidth and β-hypertreewidth are monotone under removing atoms, so
+         the full tree's CQ dominates every rooted subtree *)
+      cq_in_class ~width ~k (Pattern_tree.q_full p)
+  | Hw ->
+      Seq.for_all
+        (fun s -> cq_in_class ~width ~k (Pattern_tree.q_of_subtree p s))
+        (Pattern_tree.subtrees p)
+
+let prop2_decomposition ~k p =
+  let module Td = Hypergraphs.Tree_decomposition in
+  let parent_interface i =
+    let par = Pattern_tree.parent p i in
+    if par < 0 then String_set.empty
+    else String_set.inter (Pattern_tree.node_vars p i) (Pattern_tree.node_vars p par)
+  in
+  let child_interface i =
+    List.fold_left
+      (fun acc c ->
+        String_set.union acc
+          (String_set.inter (Pattern_tree.node_vars p i) (Pattern_tree.node_vars p c)))
+      String_set.empty (Pattern_tree.children p i)
+  in
+  let locals =
+    List.map
+      (fun i ->
+        let atoms = Pattern_tree.atoms p i in
+        let hg = Hypergraphs.Hypergraph.of_edges (List.map Atom.var_set atoms) in
+        (* isolated interface variables may be missing from tiny local
+           decompositions; widening the bags below brings them in *)
+        match Td.at_most hg k with
+        | Some td when Array.length td.Td.bags > 0 -> Some (i, td)
+        | Some _ ->
+            Some (i, { Td.bags = [| String_set.empty |]; tree = [] })
+        | None -> None)
+      (Pattern_tree.all_nodes p)
+  in
+  if List.exists Option.is_none locals then None
+  else begin
+    let locals = List.filter_map Fun.id locals in
+    (* widen every bag by the node's interfaces *)
+    let widened =
+      List.map
+        (fun (i, td) ->
+          let extra = String_set.union (parent_interface i) (child_interface i) in
+          (i, { td with Td.bags = Array.map (String_set.union extra) td.Td.bags }))
+        locals
+    in
+    (* global bag array with per-node offsets *)
+    let offsets = Hashtbl.create 16 in
+    let total =
+      List.fold_left
+        (fun off (i, td) ->
+          Hashtbl.add offsets i off;
+          off + Array.length td.Td.bags)
+        0 widened
+    in
+    let bags = Array.make total String_set.empty in
+    let edges = ref [] in
+    List.iter
+      (fun (i, td) ->
+        let off = Hashtbl.find offsets i in
+        Array.iteri (fun j b -> bags.(off + j) <- b) td.Td.bags;
+        List.iter (fun (a, b) -> edges := (off + a, off + b) :: !edges) td.Td.tree;
+        (* stitch to the parent's decomposition: both sides' bags all contain
+           the shared interface, so any pair of bags preserves connectivity *)
+        let par = Pattern_tree.parent p i in
+        if par >= 0 then edges := (off, Hashtbl.find offsets par) :: !edges)
+      widened;
+    Some { Td.bags; tree = !edges }
+  end
+
+let in_wb ~width ~k p =
+  match width with
+  | Tw | Hw' -> globally_in ~width ~k p
+  | Hw -> invalid_arg "Classes.in_wb: WB(k) is defined for Tw or Hw' only"

@@ -1,0 +1,42 @@
+(** The syntactic fragments of Section 3: local tractability [ℓ-C], bounded
+    interface [BI(c)], global tractability [g-C], and the well-behaved
+    classes [WB(k)] of Section 5. *)
+
+(** The two families of tractable CQ classes used throughout the paper. *)
+type width =
+  | Tw  (** bounded treewidth, TW(k) *)
+  | Hw  (** bounded (generalized) hypertreewidth, HW(k) *)
+  | Hw' (** bounded β-hypertreewidth, HW′(k) — used for WB(k) *)
+
+(** [locally_in ~width ~k p]: each node's Boolean CQ is in C(k)
+    (ℓ-C of Section 3.2). *)
+val locally_in : width:width -> k:int -> Pattern_tree.t -> bool
+
+(** [interface p]: the maximum, over nodes [t], of the number of variables
+    shared between [λ(t)] and its children (the least [c] with
+    [p ∈ BI(c)]; [0] for single-node trees). *)
+val interface : Pattern_tree.t -> int
+
+(** [bounded_interface ~c p]: [p ∈ BI(c)]. *)
+val bounded_interface : c:int -> Pattern_tree.t -> bool
+
+(** [globally_in ~width ~k p]: every rooted subtree's CQ is in C(k)
+    (g-C of Section 3.3). For [Tw] and [Hw'] this reduces to the full tree's
+    query (both widths are monotone under substructures); for [Hw] all rooted
+    subtrees are swept. *)
+val globally_in : width:width -> k:int -> Pattern_tree.t -> bool
+
+(** [in_wb ~width ~k p]: membership in WB(k) = g-TW(k) or g-HW′(k)
+    (Section 5; [width] must be [Tw] or [Hw']). *)
+val in_wb : width:width -> k:int -> Pattern_tree.t -> bool
+
+(** The CQ-level class C(k) behind [width], for reuse by approximation code. *)
+val cq_in_class : width:width -> k:int -> Cq.Query.t -> bool
+
+(** Constructive Proposition 2(1): for [p ∈ ℓ-TW(k) ∩ BI(c)], build a tree
+    decomposition of the full-tree query of width ≤ k + 2c by widening each
+    node's local decomposition with its (≤ c) parent- and (≤ c)
+    child-interface variables and stitching the per-node decompositions along
+    the tree. [None] if some node has no width-k decomposition. *)
+val prop2_decomposition :
+  k:int -> Pattern_tree.t -> Hypergraphs.Tree_decomposition.t option

@@ -1,0 +1,15 @@
+open Relational
+
+let contained_on db p1 p2 =
+  Mapping.Set.subset (Semantics.eval db p1) (Semantics.eval db p2)
+
+let refute p1 p2 =
+  let witness =
+    Seq.find_map
+      (fun s ->
+        let q = Pattern_tree.q_of_subtree p1 s in
+        let db, _ = Cq.Query.freeze q in
+        if contained_on db p1 p2 then None else Some db)
+      (Pattern_tree.subtrees p1)
+  in
+  witness

@@ -1,0 +1,20 @@
+(** Containment of WDPTs — undecidable (Theorem 10, after [19]), even under
+    local tractability and bounded interface. This module therefore offers
+    only what is possible:
+
+    - exact checks relative to a *fixed* database;
+    - a sound refutation search over canonical databases: if a counterexample
+      is found, containment definitely fails (no [false] answer can be
+      trusted as containment holding — hence the option-typed interface);
+    - the decidable relaxation, subsumption, lives in {!Subsumption}. *)
+
+open Relational
+
+(** [contained_on db p1 p2]: does [p1(db) ⊆ p2(db)] hold on this database? *)
+val contained_on : Database.t -> Pattern_tree.t -> Pattern_tree.t -> bool
+
+(** [refute p1 p2]: search the canonical databases of [p1]'s rooted subtrees
+    for a witness database with [p1(D) ⊄ p2(D)]. [Some d] refutes
+    containment; [None] is *inconclusive* (containment itself is
+    undecidable). *)
+val refute : Pattern_tree.t -> Pattern_tree.t -> Database.t option

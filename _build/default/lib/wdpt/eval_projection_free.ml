@@ -1,0 +1,40 @@
+open Relational
+
+let decision db p h =
+  if not (Pattern_tree.is_projection_free p) then
+    invalid_arg "Eval_projection_free.decision: query has projection";
+  let dom = Mapping.domain h in
+  (* the covered rooted subtree: nodes reachable from the root through nodes
+     whose variables are all bound by h *)
+  let covered i = String_set.subset (Pattern_tree.node_vars p i) dom in
+  if not (covered (Pattern_tree.root p)) then false
+  else begin
+    let in_s = Array.make (Pattern_tree.node_count p) false in
+    let rec dfs i =
+      in_s.(i) <- true;
+      List.iter (fun c -> if covered c then dfs c) (Pattern_tree.children p i)
+    in
+    dfs (Pattern_tree.root p);
+    let s = List.filter (fun i -> in_s.(i)) (Pattern_tree.all_nodes p) in
+    (* dom(h) must be exactly the variables of the subtree *)
+    String_set.equal (Pattern_tree.vars_of_subtree p s) dom
+    (* every pattern of the subtree must hold as ground facts *)
+    && List.for_all
+         (fun i ->
+           List.for_all
+             (fun a -> Database.mem db (Atom.to_fact (Mapping.apply_atom h a)))
+             (Pattern_tree.atoms p i))
+         s
+    (* maximality: no child hanging off the subtree is matchable *)
+    && List.for_all
+         (fun i ->
+           List.for_all
+             (fun c ->
+               in_s.(c)
+               || not
+                    (Cq.Decomp_eval.satisfiable db
+                       (Cq.Query.boolean (Pattern_tree.atoms p c))
+                       ~init:(Mapping.restrict (Pattern_tree.node_vars p c) h)))
+             (Pattern_tree.children p i))
+         s
+  end

@@ -1,0 +1,16 @@
+(** EVAL for projection-free WDPTs (Theorem 4, after [17]).
+
+    Without projection, [h ∈ p(D)] fixes everything: the candidate subtree is
+    exactly the set of nodes whose variables are covered by [dom(h)]; pattern
+    checks become ground fact lookups; only the maximality test — no child
+    outside the subtree is matchable — needs CQ evaluation, which local
+    tractability keeps polynomial. Contrast with the coNP-completeness of the
+    general projection-free case (Theorem 1(2)): the hardness lives entirely
+    in that blocking test. *)
+
+open Relational
+
+(** [decision db p h]: is [h ∈ p(D)]? Correct for every projection-free
+    WDPT; polynomial under local tractability.
+    @raise Invalid_argument if [p] is not projection-free. *)
+val decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool

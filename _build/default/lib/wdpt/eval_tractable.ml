@@ -1,0 +1,96 @@
+open Relational
+
+(* Distinct projections onto [keep] of the homomorphisms of [atoms] extending
+   [init], via the decomposition-based evaluator (polynomial for bounded-width
+   node patterns and |keep| <= c). *)
+let local_projections db atoms ~init ~keep =
+  let body = List.map (Mapping.apply_atom init) atoms in
+  let ground, live_atoms = List.partition Atom.is_ground body in
+  if not (List.for_all (fun a -> Database.mem db (Atom.to_fact a)) ground) then []
+  else begin
+    let live =
+      List.fold_left
+        (fun acc a -> String_set.union acc (Atom.var_set a))
+        String_set.empty live_atoms
+    in
+    let head = String_set.elements (String_set.inter keep live) in
+    let q = Cq.Query.make ~head ~body:live_atoms in
+    let fixed = Mapping.restrict keep init in
+    Cq.Decomp_eval.answers db q
+    |> Mapping.Set.elements
+    |> List.map (fun a -> Mapping.union a fixed)
+  end
+
+let matchable db atoms ~init =
+  Cq.Decomp_eval.satisfiable db (Cq.Query.boolean atoms) ~init
+
+let decision db p h =
+  let free = Pattern_tree.free_set p in
+  let dom = Mapping.domain h in
+  if not (String_set.subset dom free) then false
+  else
+    match Pattern_tree.minimal_subtree_for p dom with
+    | None -> false
+    | Some t1 ->
+        let free_in_t1 = String_set.inter (Pattern_tree.vars_of_subtree p t1) free in
+        if not (String_set.subset free_in_t1 dom) then false
+        else begin
+          match Pattern_tree.maximal_subtree_without p dom with
+          | None -> false
+          | Some t2 ->
+              let in_t1 = Array.make (Pattern_tree.node_count p) false in
+              List.iter (fun i -> in_t1.(i) <- true) t1;
+              let in_t2 = Array.make (Pattern_tree.node_count p) false in
+              List.iter (fun i -> in_t2.(i) <- true) t2;
+              let memo = Hashtbl.create 256 in
+              (* good t beta: node t (in T″) admits a local match extending
+                 beta (and h) whose branches can be completed into a maximal
+                 homomorphism that binds exactly the free variables in dom *)
+              let rec good t beta =
+                let key = (t, Format.asprintf "%a" Mapping.pp beta) in
+                match Hashtbl.find_opt memo key with
+                | Some b -> b
+                | None ->
+                    let result = compute t beta in
+                    Hashtbl.replace memo key result;
+                    result
+              and compute t beta =
+                let tvars = Pattern_tree.node_vars p t in
+                let init = Mapping.union beta (Mapping.restrict tvars h) in
+                let kids = Pattern_tree.children p t in
+                let interface =
+                  List.fold_left
+                    (fun acc c ->
+                      String_set.union acc
+                        (String_set.inter tvars (Pattern_tree.node_vars p c)))
+                    String_set.empty kids
+                in
+                let gammas =
+                  local_projections db (Pattern_tree.atoms p t) ~init ~keep:interface
+                in
+                let child_ok gamma c =
+                  let shared = String_set.inter tvars (Pattern_tree.node_vars p c) in
+                  let beta_c = Mapping.restrict shared gamma in
+                  if in_t1.(c) then good c beta_c
+                  else if in_t2.(c) then
+                    let cinit =
+                      Mapping.union beta_c
+                        (Mapping.restrict (Pattern_tree.node_vars p c) h)
+                    in
+                    (not (matchable db (Pattern_tree.atoms p c) ~init:cinit))
+                    || good c beta_c
+                  else begin
+                    (* outside T″: any match would force a new free variable *)
+                    let cinit =
+                      Mapping.union beta_c
+                        (Mapping.restrict (Pattern_tree.node_vars p c) h)
+                    in
+                    not (matchable db (Pattern_tree.atoms p c) ~init:cinit)
+                  end
+                in
+                List.exists
+                  (fun gamma -> List.for_all (child_ok gamma) kids)
+                  gammas
+              in
+              good (Pattern_tree.root p) Mapping.empty
+        end

@@ -1,0 +1,20 @@
+(** The polynomial-time EVAL algorithm of Theorems 6 and 7 for WDPTs that are
+    locally tractable with bounded interface (ℓ-C(k) ∩ BI(c)).
+
+    Implementation follows the proof sketch of Theorem 6 as a dynamic program
+    over the tree. Writing x̄′ for the variables on which the input mapping
+    [h] is defined: [T′] is the minimal rooted subtree containing x̄′ and
+    [T″] the maximal rooted subtree introducing no free variable outside x̄′.
+    For every node and every binding of its (≤ c) interface variables we
+    decide whether a local match exists whose children can be completed such
+    that (i) nodes of T′ are matched, (ii) nodes of T″ are matched whenever
+    matchable, and (iii) no node outside T″ (which would bind a new free
+    variable) is matchable. Local matches and projections are computed with
+    the decomposition-based CQ evaluator, so the whole procedure is
+    polynomial for fixed k and c. *)
+
+open Relational
+
+(** [decision db p h]: is [h ∈ p(D)]? Correct for every WDPT (the fragment
+    restriction only governs the running time). *)
+val decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool

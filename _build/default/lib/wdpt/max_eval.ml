@@ -1,0 +1,35 @@
+open Relational
+
+let subtree_satisfiable db p vars ~init =
+  match Pattern_tree.minimal_subtree_for p vars with
+  | None -> false
+  | Some s ->
+      let q = Cq.Query.boolean (Pattern_tree.atoms_of_subtree p s) in
+      Cq.Decomp_eval.satisfiable db q ~init
+
+(* h is the projection of some homomorphism iff the minimal subtree for
+   dom(h) mentions no further free variable and its instantiation is
+   satisfiable *)
+let in_projection_closure db p h =
+  let free = Pattern_tree.free_set p in
+  let dom = Mapping.domain h in
+  String_set.subset dom free
+  &&
+  match Pattern_tree.minimal_subtree_for p dom with
+  | None -> false
+  | Some s ->
+      let free_in_s = String_set.inter (Pattern_tree.vars_of_subtree p s) free in
+      String_set.subset free_in_s dom
+      && Cq.Decomp_eval.satisfiable db
+           (Cq.Query.boolean (Pattern_tree.atoms_of_subtree p s))
+           ~init:h
+
+let extends_strictly db p h =
+  let free = Pattern_tree.free_set p in
+  let dom = Mapping.domain h in
+  String_set.subset dom free
+  && String_set.exists
+       (fun y -> subtree_satisfiable db p (String_set.add y dom) ~init:h)
+       (String_set.diff free dom)
+
+let decision db p h = in_projection_closure db p h && not (extends_strictly db p h)

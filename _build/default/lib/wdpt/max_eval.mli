@@ -1,0 +1,20 @@
+(** MAX-EVAL via the Theorem 9 algorithm.
+
+    [h ∈ p_m(D)] iff [h] is a ⊑-maximal element of the projections of *all*
+    homomorphisms from [p] to [D] (maximal elements of [p(D)] and of that
+    larger set coincide, because every homomorphism extends to a maximal one
+    with a ⊒ projection). This reduces MAX-EVAL to globally tractable CQ
+    satisfiability checks: one for dom(h) and one per absent free variable. *)
+
+open Relational
+
+(** [decision db p h]: is [h ∈ p_m(D)]? *)
+val decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool
+
+(** [in_projection_closure db p h]: is [h] the projection of *some*
+    homomorphism from [p] to [db] (condition (a) above)? Used for unions. *)
+val in_projection_closure : Database.t -> Pattern_tree.t -> Mapping.t -> bool
+
+(** [extends_strictly db p h]: does some homomorphism of [p] project to a
+    strict ⊒-extension of [h] (condition (b) negated)? *)
+val extends_strictly : Database.t -> Pattern_tree.t -> Mapping.t -> bool

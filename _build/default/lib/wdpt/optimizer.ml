@@ -1,0 +1,78 @@
+open Relational
+
+type strategy =
+  | Exact_tractable
+  | Via_witness of Pattern_tree.t
+  | Via_approximation of Pattern_tree.t list
+  | Exact_exponential
+
+type plan = {
+  query : Pattern_tree.t;
+  k : int;
+  bounded_interface : int;
+  strategy : strategy;
+}
+
+let plan ~k p =
+  let c = Classes.interface p in
+  let strategy =
+    if Classes.locally_in ~width:Tw ~k p || Classes.in_wb ~width:Tw ~k p then
+      Exact_tractable
+    else
+      match Semantic_opt.wb_witness ~width:Tw ~k p with
+      | Some w -> Via_witness w
+      | None -> (
+          match Approximation.wb_approximations ~width:Tw ~k p with
+          | [] -> Exact_exponential
+          | apps -> Via_approximation apps)
+  in
+  { query = p; k; bounded_interface = c; strategy }
+
+let describe pl =
+  match pl.strategy with
+  | Exact_tractable ->
+      Printf.sprintf
+        "tractable as written (interface %d, width budget %d): Theorems 6-9 apply"
+        pl.bounded_interface pl.k
+  | Via_witness _ ->
+      Printf.sprintf
+        "subsumption-equivalent to a WB(%d) query: partial/maximal evaluation \
+         through the witness (Corollary 2)"
+        pl.k
+  | Via_approximation apps ->
+      Printf.sprintf
+        "outside WB(%d): %d sound approximation(s) available (Section 5.2)"
+        pl.k (List.length apps)
+  | Exact_exponential -> "no optimization found: exact exponential evaluation"
+
+let decision pl db h =
+  match pl.strategy with
+  | Exact_tractable -> Eval_tractable.decision db pl.query h
+  | Via_witness _ | Via_approximation _ | Exact_exponential ->
+      (* EVAL is not preserved by ≡ₛ, so only the original query can answer
+         it exactly; Eval_tractable is correct (if slower) on all inputs *)
+      Eval_tractable.decision db pl.query h
+
+let partial_decision pl db h =
+  match pl.strategy with
+  | Exact_tractable -> Partial_eval.decision db pl.query h
+  | Via_witness w -> Partial_eval.decision db w h
+  | Via_approximation apps ->
+      List.exists (fun a -> Partial_eval.decision db a h) apps
+  | Exact_exponential -> Semantics.partial_decision db pl.query h
+
+let complete pl =
+  match pl.strategy with
+  | Exact_tractable | Via_witness _ | Exact_exponential -> true
+  | Via_approximation _ -> false
+
+let eval pl db =
+  match pl.strategy with
+  | Exact_tractable | Exact_exponential -> Semantics.eval db pl.query
+  | Via_witness w ->
+      (* ≡ₛ preserves maximal answers; report those *)
+      Semantics.eval_max db w
+  | Via_approximation apps ->
+      List.fold_left
+        (fun acc a -> Mapping.Set.union acc (Semantics.eval db a))
+        Mapping.Set.empty apps

@@ -1,0 +1,52 @@
+(** The paper's program as a single entry point: given a WDPT and a width
+    budget [k], decide how to evaluate it.
+
+    The plan mirrors Sections 3–5: if the query is in a tractable fragment,
+    use the corresponding algorithm directly; otherwise look for an
+    ≡ₛ-equivalent well-behaved query (semantic optimization, Theorem 13 /
+    Corollary 2); otherwise fall back to a sound WB(k)-approximation
+    (Section 5.2) or to the exact exponential algorithms. *)
+
+open Relational
+
+type strategy =
+  | Exact_tractable
+      (** already in ℓ-TW(k) ∩ BI(c) (for EVAL) / g-TW(k) (for partial and
+          maximal evaluation): run the Theorems 6–9 algorithms directly *)
+  | Via_witness of Pattern_tree.t
+      (** ≡ₛ-equivalent WB(k) query found: evaluate partial/maximal answers
+          through it (Corollary 2) *)
+  | Via_approximation of Pattern_tree.t list
+      (** sound under-approximations in WB(k); answers are a subset of the
+          exact ones (up to ⊑) *)
+  | Exact_exponential
+      (** no optimization found: exponential general algorithms *)
+
+type plan = private {
+  query : Pattern_tree.t;
+  k : int;
+  bounded_interface : int;
+  strategy : strategy;
+}
+
+(** [plan ~k p] classifies [p] and picks a strategy. *)
+val plan : k:int -> Pattern_tree.t -> plan
+
+val describe : plan -> string
+
+(** EVAL through the plan (always exact: EVAL is answered with the general
+    algorithm unless the query is tractable; approximations do not preserve
+    exact answers). *)
+val decision : plan -> Database.t -> Mapping.t -> bool
+
+(** PARTIAL-EVAL through the plan. For [Via_approximation] the answer is
+    sound but possibly incomplete (a [true] is definitive, a [false] is not);
+    [complete] reports whether the strategy is exact. *)
+val partial_decision : plan -> Database.t -> Mapping.t -> bool
+
+val complete : plan -> bool
+
+(** Full evaluation through the plan (for [Via_approximation]: the union of
+    the approximations' answers — a sound subset, every returned mapping
+    subsumed by an exact answer). *)
+val eval : plan -> Database.t -> Mapping.Set.t

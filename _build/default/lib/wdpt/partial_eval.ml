@@ -1,0 +1,10 @@
+open Relational
+
+let decision db p h =
+  String_set.subset (Mapping.domain h) (Pattern_tree.free_set p)
+  &&
+  match Pattern_tree.minimal_subtree_for p (Mapping.domain h) with
+  | None -> false
+  | Some s ->
+      let q = Cq.Query.boolean (Pattern_tree.atoms_of_subtree p s) in
+      Cq.Decomp_eval.satisfiable db q ~init:h

@@ -1,0 +1,9 @@
+(** PARTIAL-EVAL via the Theorem 8 algorithm: find the minimal rooted subtree
+    containing dom(h), instantiate its CQ with [h], and decide satisfiability
+    with the decomposition-based evaluator. LOGCFL/polynomial for globally
+    tractable WDPTs; correct for all WDPTs. *)
+
+open Relational
+
+(** [decision db p h]: is there [h' ∈ p(D)] with [h ⊑ h']? *)
+val decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool

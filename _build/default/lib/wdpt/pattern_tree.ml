@@ -1,0 +1,299 @@
+open Relational
+
+type t = {
+  node_atoms : Atom.t list array;
+  parents : int array;
+  childs : int list array;
+  free_vars : string list;
+}
+
+type spec = Node of Atom.t list * spec list
+
+let node_vars_of atoms =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.var_set a)) String_set.empty atoms
+
+let flatten spec =
+  (* breadth-independent preorder flattening: parents before children *)
+  let nodes = ref [] and parents = ref [] and count = ref 0 in
+  let rec go parent (Node (atoms, kids)) =
+    let i = !count in
+    incr count;
+    nodes := atoms :: !nodes;
+    parents := parent :: !parents;
+    List.iter (go i) kids
+  in
+  go (-1) spec;
+  let node_atoms = Array.of_list (List.rev !nodes) in
+  let parents = Array.of_list (List.rev !parents) in
+  let n = Array.length node_atoms in
+  let childs = Array.make n [] in
+  for i = n - 1 downto 1 do
+    childs.(parents.(i)) <- i :: childs.(parents.(i))
+  done;
+  (node_atoms, parents, childs)
+
+let check_well_designed node_atoms parents =
+  (* for each variable, the nodes mentioning it must form a connected
+     subgraph of the tree: equivalent to having a unique topmost node such
+     that every mentioning node reaches it through mentioning nodes *)
+  let n = Array.length node_atoms in
+  let vars_at = Array.map node_vars_of node_atoms in
+  let all_vars = Array.fold_left String_set.union String_set.empty vars_at in
+  String_set.for_all
+    (fun y ->
+      let mentions = Array.map (String_set.mem y) vars_at in
+      (* topmost mentioning node(s): those whose parent does not mention y *)
+      let tops = ref [] in
+      for i = 0 to n - 1 do
+        if mentions.(i) && (parents.(i) < 0 || not mentions.(parents.(i))) then
+          tops := i :: !tops
+      done;
+      List.length !tops <= 1)
+    all_vars
+
+let make ~free spec =
+  let node_atoms, parents, childs = flatten spec in
+  if not (check_well_designed node_atoms parents) then
+    invalid_arg "Pattern_tree.make: not well-designed";
+  let all_vars = Array.fold_left (fun acc a -> String_set.union acc (node_vars_of a)) String_set.empty node_atoms in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem seen x then invalid_arg ("Pattern_tree.make: duplicate free variable " ^ x);
+      Hashtbl.add seen x ();
+      if not (String_set.mem x all_vars) then
+        invalid_arg ("Pattern_tree.make: free variable " ^ x ^ " not in tree"))
+    free;
+  { node_atoms; parents; childs; free_vars = free }
+
+let of_cq q =
+  make ~free:(Cq.Query.head q) (Node (Cq.Query.body q, []))
+
+let well_designed_spec spec =
+  let node_atoms, parents, _ = flatten spec in
+  check_well_designed node_atoms parents
+
+let free t = t.free_vars
+let free_set t = String_set.of_list t.free_vars
+let node_count t = Array.length t.node_atoms
+let root _ = 0
+let parent t i = t.parents.(i)
+let children t i = t.childs.(i)
+let atoms t i = t.node_atoms.(i)
+let node_vars t i = node_vars_of t.node_atoms.(i)
+
+let vars t =
+  Array.fold_left
+    (fun acc atoms -> String_set.union acc (node_vars_of atoms))
+    String_set.empty t.node_atoms
+
+let size t = Array.fold_left (fun acc atoms -> acc + List.length atoms) 0 t.node_atoms
+let is_projection_free t = String_set.equal (free_set t) (vars t)
+
+let to_spec t =
+  let rec build i =
+    Node (t.node_atoms.(i), List.map build t.childs.(i))
+  in
+  build 0
+
+(* ---- subtrees ---------------------------------------------------------- *)
+
+let subtrees t =
+  (* enumerate subsets containing 0 and closed under parents, lazily: at each
+     node of the recursion choose a subset of children to descend into *)
+  let rec node_seq i : int list Seq.t =
+    (* all subtrees rooted at node i (including i) *)
+    let kids = t.childs.(i) in
+    let rec combine = function
+      | [] -> Seq.return []
+      | c :: rest ->
+          let rest_seq = combine rest in
+          Seq.concat_map
+            (fun chosen ->
+              Seq.cons chosen
+                (Seq.map (fun sub -> sub @ chosen) (node_seq c)))
+            rest_seq
+    in
+    Seq.map (fun chosen -> i :: chosen) (combine kids)
+  in
+  Seq.map (List.sort Int.compare) (node_seq 0)
+
+let subtree_count t =
+  let rec count i =
+    List.fold_left (fun acc c -> acc * (1 + count c)) 1 t.childs.(i)
+  in
+  count 0
+
+let all_nodes t = List.init (node_count t) Fun.id
+
+let atoms_of_subtree t s = List.concat_map (fun i -> t.node_atoms.(i)) s
+
+let vars_of_subtree t s =
+  List.fold_left (fun acc i -> String_set.union acc (node_vars t i)) String_set.empty s
+
+let q_of_subtree t s =
+  let body = atoms_of_subtree t s in
+  Cq.Query.make ~head:(String_set.elements (vars_of_subtree t s)) ~body
+
+let r_of_subtree t s =
+  let body = atoms_of_subtree t s in
+  let head =
+    List.filter (fun x -> String_set.mem x (vars_of_subtree t s)) t.free_vars
+  in
+  Cq.Query.make ~head ~body
+
+let q_full t = q_of_subtree t (all_nodes t)
+
+let close_under_parents t nodes =
+  let inset = Array.make (node_count t) false in
+  let rec up i =
+    if not inset.(i) then begin
+      inset.(i) <- true;
+      if t.parents.(i) >= 0 then up t.parents.(i)
+    end
+  in
+  List.iter up nodes;
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := i :: !out) inset;
+  List.rev !out
+
+let minimal_subtree_for t vs =
+  (* topmost occurrence node of each variable is unique by well-designedness *)
+  let n = node_count t in
+  let top_of y =
+    let rec find i =
+      if i >= n then None
+      else if String_set.mem y (node_vars t i)
+              && (t.parents.(i) < 0 || not (String_set.mem y (node_vars t t.parents.(i))))
+      then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let tops = List.map top_of (String_set.elements vs) in
+  if List.exists Option.is_none tops then None
+  else Some (close_under_parents t (0 :: List.filter_map Fun.id tops))
+
+let maximal_subtree_without t keep =
+  let free = free_set t in
+  let ok i =
+    String_set.subset (String_set.inter (node_vars t i) free) keep
+  in
+  if not (ok 0) then None
+  else begin
+    let out = ref [] in
+    let rec dfs i =
+      out := i :: !out;
+      List.iter (fun c -> if ok c then dfs c) t.childs.(i)
+    in
+    dfs 0;
+    Some (List.sort Int.compare !out)
+  end
+
+(* ---- transformations --------------------------------------------------- *)
+
+let rebuild ?free t node_atoms parents =
+  let free = Option.value free ~default:t.free_vars in
+  let n = Array.length node_atoms in
+  let childs = Array.make n [] in
+  for i = n - 1 downto 1 do
+    childs.(parents.(i)) <- i :: childs.(parents.(i))
+  done;
+  if check_well_designed node_atoms parents then
+    Some { node_atoms; parents; childs; free_vars = free }
+  else None
+
+let quotient f t =
+  List.iter
+    (fun x -> if f x <> x then invalid_arg "Pattern_tree.quotient: free variable moved")
+    t.free_vars;
+  let node_atoms =
+    Array.map
+      (List.map (Atom.apply ~f:(fun x -> Term.var (f x))))
+      t.node_atoms
+  in
+  rebuild t node_atoms t.parents
+
+let drop_leaf t i =
+  if i = 0 then invalid_arg "Pattern_tree.drop_leaf: root";
+  if t.childs.(i) <> [] then invalid_arg "Pattern_tree.drop_leaf: not a leaf";
+  let n = node_count t in
+  let remap = Array.make n (-1) in
+  let j = ref 0 in
+  for k = 0 to n - 1 do
+    if k <> i then begin
+      remap.(k) <- !j;
+      incr j
+    end
+  done;
+  let node_atoms = Array.make (n - 1) [] in
+  let parents = Array.make (n - 1) (-1) in
+  for k = 0 to n - 1 do
+    if k <> i then begin
+      node_atoms.(remap.(k)) <- t.node_atoms.(k);
+      parents.(remap.(k)) <- (if t.parents.(k) < 0 then -1 else remap.(t.parents.(k)))
+    end
+  done;
+  let remaining_vars =
+    Array.fold_left (fun acc atoms -> String_set.union acc (node_vars_of atoms)) String_set.empty node_atoms
+  in
+  let free = List.filter (fun x -> String_set.mem x remaining_vars) t.free_vars in
+  match rebuild ~free t node_atoms parents with
+  | Some t' -> t'
+  | None -> assert false (* dropping a leaf preserves well-designedness *)
+
+let collapse_into_parent t i =
+  if i = 0 then invalid_arg "Pattern_tree.collapse_into_parent: root";
+  let p = t.parents.(i) in
+  let n = node_count t in
+  let remap = Array.make n (-1) in
+  let j = ref 0 in
+  for k = 0 to n - 1 do
+    if k <> i then begin
+      remap.(k) <- !j;
+      incr j
+    end
+  done;
+  let node_atoms = Array.make (n - 1) [] in
+  let parents = Array.make (n - 1) (-1) in
+  for k = 0 to n - 1 do
+    if k <> i then begin
+      node_atoms.(remap.(k)) <- t.node_atoms.(k);
+      let pk = if t.parents.(k) = i then p else t.parents.(k) in
+      parents.(remap.(k)) <- (if pk < 0 then -1 else remap.(pk))
+    end
+  done;
+  node_atoms.(remap.(p)) <-
+    List.sort_uniq Atom.compare (t.node_atoms.(i) @ node_atoms.(remap.(p)));
+  rebuild t node_atoms parents
+
+let compare_syntactic a b =
+  let c = List.compare String.compare a.free_vars b.free_vars in
+  if c <> 0 then c
+  else
+    let c =
+      List.compare (List.compare Atom.compare)
+        (Array.to_list a.node_atoms) (Array.to_list b.node_atoms)
+    in
+    if c <> 0 then c
+    else List.compare Int.compare (Array.to_list a.parents) (Array.to_list b.parents)
+
+let equal_syntactic a b = compare_syntactic a b = 0
+
+let rec pp_spec ppf (Node (atoms, kids)) =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Atom.pp)
+    atoms;
+  if kids <> [] then
+    Format.fprintf ppf "[@[<hv>%a@]]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_spec)
+      kids
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hv>free (%a) %a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_string)
+    t.free_vars pp_spec (to_spec t)
+
+let canonical_key t = Format.asprintf "%a" pp t

@@ -1,0 +1,110 @@
+(** Well-designed pattern trees (Definition 1).
+
+    A WDPT is a rooted tree whose nodes carry sets of relational atoms, with
+    the well-designedness condition: the nodes mentioning any given variable
+    form a connected subtree. Nodes are indexed [0 .. node_count - 1] with the
+    root at index 0 and children appearing after their parents. *)
+
+open Relational
+
+type t
+
+(** Tree-shaped description used to build pattern trees. *)
+type spec = Node of Atom.t list * spec list
+
+(** [make ~free spec] builds a WDPT.
+    @raise Invalid_argument if the tree is not well-designed, or [free] lists
+    a variable not occurring in the tree, or has duplicates. *)
+val make : free:string list -> spec -> t
+
+(** A single-node WDPT (a CQ). *)
+val of_cq : Cq.Query.t -> t
+
+(** [well_designed_spec spec] checks condition (2) of Definition 1. *)
+val well_designed_spec : spec -> bool
+
+val free : t -> string list
+val free_set : t -> String_set.t
+val node_count : t -> int
+val root : t -> int
+
+(** Parent index; [-1] for the root. *)
+val parent : t -> int -> int
+val children : t -> int -> int list
+val atoms : t -> int -> Atom.t list
+val node_vars : t -> int -> String_set.t
+val vars : t -> String_set.t
+
+(** Total number of atoms, the paper's |p|. *)
+val size : t -> int
+
+val is_projection_free : t -> bool
+
+(** [to_spec t] recovers the tree description. *)
+val to_spec : t -> spec
+
+(** {2 Rooted subtrees}
+
+    A rooted subtree is a set of node indices containing the root and closed
+    under parents; it is represented as a sorted [int list]. *)
+
+(** Lazy enumeration of all rooted subtrees (there are exponentially many). *)
+val subtrees : t -> int list Seq.t
+
+val subtree_count : t -> int
+
+(** The full subtree (all nodes). *)
+val all_nodes : t -> int list
+
+(** [atoms_of_subtree t s] — the atoms of the nodes of [s]. *)
+val atoms_of_subtree : t -> int list -> Atom.t list
+
+(** [vars_of_subtree t s]. *)
+val vars_of_subtree : t -> int list -> String_set.t
+
+(** [q_of_subtree t s] is the CQ q_{T'}: all variables of the subtree free
+    (Section 2). *)
+val q_of_subtree : t -> int list -> Cq.Query.t
+
+(** [r_of_subtree t s] is the CQ r_{T'}: head restricted to the free
+    variables of the WDPT occurring in the subtree (Section 6). *)
+val r_of_subtree : t -> int list -> Cq.Query.t
+
+(** The CQ of the whole tree with every variable free. *)
+val q_full : t -> Cq.Query.t
+
+(** [minimal_subtree_for t vs] is the smallest rooted subtree whose nodes
+    mention every variable of [vs], or [None] if some variable does not occur
+    in the tree. Unique by well-designedness. *)
+val minimal_subtree_for : t -> String_set.t -> int list option
+
+(** [maximal_subtree_without t keep] is the largest rooted subtree whose
+    nodes mention no free variable outside [keep]: nodes reachable from the
+    root through nodes satisfying the condition. [None] if the root itself
+    violates it. *)
+val maximal_subtree_without : t -> String_set.t -> int list option
+
+(** {2 Transformations} *)
+
+(** [quotient f t] applies a variable map to every atom ([f] must fix free
+    variables); returns [None] if the image violates well-designedness. *)
+val quotient : (string -> string) -> t -> t option
+
+(** [drop_leaf t i] removes leaf node [i] (and any free variables that
+    disappear with it).
+    @raise Invalid_argument if [i] is the root or not a leaf. *)
+val drop_leaf : t -> int -> t
+
+(** [collapse_into_parent t i] merges node [i]'s atoms into its parent,
+    reattaching [i]'s children to the parent; returns [None] if the result is
+    not well-designed (it always is, in fact, but the check is kept cheap and
+    safe). *)
+val collapse_into_parent : t -> int -> t option
+
+val equal_syntactic : t -> t -> bool
+val compare_syntactic : t -> t -> int
+
+(** Stable canonical text (for memoization keys). *)
+val canonical_key : t -> string
+
+val pp : Format.formatter -> t -> unit

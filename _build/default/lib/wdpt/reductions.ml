@@ -1,0 +1,82 @@
+open Relational
+
+type graph = {
+  n : int;
+  edges : (int * int) list;
+}
+
+let u i = "u" ^ string_of_int i
+let xjk j k = Printf.sprintf "x_%d_%d" j k
+
+let three_col_instance g =
+  let db =
+    Database.of_list
+      [ Fact.make "c" [ Value.int 1; Value.int 1 ];
+        Fact.make "c" [ Value.int 2; Value.int 2 ];
+        Fact.make "c" [ Value.int 3; Value.int 3 ] ]
+  in
+  let c a b = Atom.make "c" [ a; b ] in
+  let root_atoms =
+    c (Term.var "x") (Term.var "x")
+    :: List.init g.n (fun i -> c (Term.var (u i)) (Term.var (u i)))
+  in
+  let child j k (v1, v2) =
+    Pattern_tree.Node
+      ( [ c (Term.var (u v1)) (Term.int k);
+          c (Term.var (u v2)) (Term.int k);
+          c (Term.var (xjk j k)) (Term.var (xjk j k)) ],
+        [] )
+  in
+  let children =
+    List.concat (List.mapi (fun j e -> List.map (fun k -> child j k e) [ 1; 2; 3 ]) g.edges)
+  in
+  let free =
+    "x"
+    :: List.concat
+         (List.mapi (fun j _ -> List.map (fun k -> xjk j k) [ 1; 2; 3 ]) g.edges)
+  in
+  let p = Pattern_tree.make ~free (Node (root_atoms, children)) in
+  (p, db, Mapping.singleton "x" (Value.int 1))
+
+let three_colorable g =
+  let colors = Array.make g.n 0 in
+  let ok v col =
+    List.for_all
+      (fun (a, b) ->
+        if a = v && b < v then colors.(b) <> col
+        else if b = v && a < v then colors.(a) <> col
+        else true)
+      g.edges
+  in
+  let rec go v =
+    if v >= g.n then true
+    else
+      List.exists
+        (fun col ->
+          ok v col
+          && begin
+               colors.(v) <- col;
+               go (v + 1)
+             end)
+        [ 1; 2; 3 ]
+  in
+  go 0
+
+let cycle n =
+  { n; edges = List.init n (fun i -> (i, (i + 1) mod n)) }
+
+let complete n =
+  { n;
+    edges =
+      List.concat
+        (List.init n (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None) (List.init n Fun.id))) }
+
+let random_graph ~seed ~n ~edge_prob =
+  let st = Random.State.make [| seed |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < edge_prob then edges := (i, j) :: !edges
+    done
+  done;
+  { n; edges = !edges }

@@ -1,0 +1,24 @@
+(** Hardness reductions from the paper, used to exhibit the intractable cells
+    of Table 1 empirically. *)
+
+open Relational
+
+(** Undirected graphs for the 3-colorability reduction. *)
+type graph = {
+  n : int;                 (** vertices are 0 .. n-1 *)
+  edges : (int * int) list;
+}
+
+(** Proposition 3: a WDPT in g-TW(1) ∩ g-HW(1), a fixed 3-fact database and a
+    singleton mapping [h] such that [G] is 3-colorable iff [h ∈ p(D)]. *)
+val three_col_instance : graph -> Pattern_tree.t * Database.t * Mapping.t
+
+(** Direct backtracking 3-colorability solver, for cross-validation. *)
+val three_colorable : graph -> bool
+
+(** Standard hard/easy graph families for the benchmarks. *)
+val cycle : int -> graph
+val complete : int -> graph
+
+(** [random_graph ~seed ~n ~edge_prob] Erdős–Rényi. *)
+val random_graph : seed:int -> n:int -> edge_prob:float -> graph

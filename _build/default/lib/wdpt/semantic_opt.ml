@@ -1,0 +1,43 @@
+
+let in_m_wb_cq ~width ~k p =
+  if Pattern_tree.node_count p <> 1 then
+    invalid_arg "Semantic_opt.in_m_wb_cq: single-node WDPTs only";
+  let q = Pattern_tree.r_of_subtree p [ 0 ] in
+  Cq.Core_q.equivalent_to_class q ~in_class:(Classes.cq_in_class ~width ~k)
+
+let wb_witness ~width ~k p =
+  let in_class = Classes.in_wb ~width ~k in
+  if in_class p then Some p
+  else begin
+    let normalized = Approximation.normalize p in
+    if in_class normalized then Some normalized
+    else if Pattern_tree.node_count p = 1 then begin
+      (* exact via the core: rebuild a single-node witness *)
+      let q = Pattern_tree.r_of_subtree p [ 0 ] in
+      let c = Cq.Core_q.core q in
+      if Classes.cq_in_class ~width ~k c then Some (Pattern_tree.of_cq c) else None
+    end
+    else begin
+      (* search the ⊑-decreasing candidate space for an ≡ₛ witness *)
+      let cands = Approximation.candidates ~in_class p in
+      List.find_opt (fun c -> Subsumption.equivalent c p) cands
+    end
+  end
+
+type fpt = {
+  query : Pattern_tree.t;
+  witness : Pattern_tree.t option;
+}
+
+let prepare ~width ~k p = { query = p; witness = wb_witness ~width ~k p }
+let used_witness f = f.witness
+
+let partial_decision f db h =
+  match f.witness with
+  | Some w -> Partial_eval.decision db w h
+  | None -> Semantics.partial_decision db f.query h
+
+let max_decision f db h =
+  match f.witness with
+  | Some w -> Max_eval.decision db w h
+  | None -> Semantics.max_decision db f.query h

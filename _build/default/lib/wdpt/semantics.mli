@@ -1,0 +1,44 @@
+(** Semantics of WDPTs (Definition 2) and the three evaluation problems of
+    Section 3 in their general (unrestricted, hence exponential) form.
+
+    Two independent implementations are provided and cross-validated in the
+    test suite: a reference one that literally follows Definition 2, and a
+    procedural top-down one (the pt-evaluation of Letelier et al. [17]) that
+    exploits well-designedness to extend homomorphisms branch by branch. *)
+
+open Relational
+
+(** All maximal homomorphisms from [p] to [db] (procedural algorithm). *)
+val maximal_homomorphisms : Database.t -> Pattern_tree.t -> Mapping.t list
+
+(** Streaming enumeration of the maximal homomorphisms (no duplicate
+    suppression: distinct branch extensions can project to equal answers). *)
+val iter_maximal_homomorphisms :
+  Database.t -> Pattern_tree.t -> (Mapping.t -> unit) -> unit
+
+(** Reference implementation: enumerate rooted subtrees, evaluate their CQs,
+    keep the ⊑-maximal mappings. *)
+val maximal_homomorphisms_naive : Database.t -> Pattern_tree.t -> Mapping.t list
+
+(** One maximal homomorphism, computed greedily without enumerating the
+    answer set ([None] iff the root pattern has no match). *)
+val any_maximal_homomorphism : Database.t -> Pattern_tree.t -> Mapping.t option
+
+(** The evaluation p(D): projections of the maximal homomorphisms to the free
+    variables. *)
+val eval : Database.t -> Pattern_tree.t -> Mapping.Set.t
+
+val eval_naive : Database.t -> Pattern_tree.t -> Mapping.Set.t
+
+(** The maximal-mappings evaluation p_m(D) (Section 3.4): the ⊑-maximal
+    elements of p(D). *)
+val eval_max : Database.t -> Pattern_tree.t -> Mapping.Set.t
+
+(** EVAL(C): is [h ∈ p(D)]? *)
+val decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool
+
+(** PARTIAL-EVAL(C): is there [h' ∈ p(D)] with [h ⊑ h']? *)
+val partial_decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool
+
+(** MAX-EVAL(C): is [h ∈ p_m(D)]? *)
+val max_decision : Database.t -> Pattern_tree.t -> Mapping.t -> bool

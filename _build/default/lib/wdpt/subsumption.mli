@@ -1,0 +1,25 @@
+(** Subsumption and subsumption-equivalence of WDPTs (Section 4).
+
+    Decision procedure (the Π₂^P algorithm of [17], realizing the asymmetric
+    coNP bound of Theorem 11): [p₁ ⊑ p₂] iff for *every* rooted subtree [T′]
+    of [p₁], the freeze of the free variables of [p₁] occurring in [T′] is a
+    partial answer of [p₂] over the canonical database of [q_{T′}].
+
+    Soundness: given [h ∈ p₁(D)] with maximal homomorphism [ĥ] on subtree
+    [T′], [ĥ] is a database homomorphism from the canonical database of [T′]
+    to [D]; composing it with the witness answer of [p₂] over the canonical
+    database and extending maximally yields an answer of [p₂] over [D]
+    subsuming [h]. Necessity: instantiate the definition on the canonical
+    database itself. Only [p₂]'s global tractability affects the cost of the
+    inner check; [p₁] may be arbitrary, and the subtree enumeration of [p₁]
+    accounts for the coNP part. *)
+
+(** [subsumes p1 p2]: does [p₁ ⊑ p₂] hold (for every database)? *)
+val subsumes : Pattern_tree.t -> Pattern_tree.t -> bool
+
+(** [equivalent p1 p2]: subsumption-equivalence [p₁ ≡ₛ p₂]. *)
+val equivalent : Pattern_tree.t -> Pattern_tree.t -> bool
+
+(** [max_equivalent p1 p2]: equivalence under the maximal-mappings semantics
+    [≡_max]; coincides with [≡ₛ] by Proposition 5. *)
+val max_equivalent : Pattern_tree.t -> Pattern_tree.t -> bool

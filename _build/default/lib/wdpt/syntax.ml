@@ -1,0 +1,229 @@
+open Relational
+
+type token =
+  | FREE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | VAR of string
+  | IDENT of string
+  | INT of int
+  | STRING of string
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' | '-' | '.' | '@' -> true
+  | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '#' ->
+          let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+          go (eol i) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | '[' -> go (i + 1) (LBRACKET :: acc)
+      | ']' -> go (i + 1) (RBRACKET :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | ';' -> go (i + 1) (SEMI :: acc)
+      | '"' ->
+          let rec close j =
+            if j >= n then Error "unterminated string literal"
+            else if src.[j] = '"' then Ok j
+            else close (j + 1)
+          in
+          (match close (i + 1) with
+          | Error e -> Error e
+          | Ok j -> go (j + 1) (STRING (String.sub src (i + 1) (j - i - 1)) :: acc))
+      | '?' ->
+          let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+          let j = word (i + 1) in
+          if j = i + 1 then Error "empty variable name"
+          else go j (VAR (String.sub src (i + 1) (j - i - 1)) :: acc)
+      | '-' | '0' .. '9' ->
+          let rec num j =
+            if j < n && (match src.[j] with '0' .. '9' -> true | _ -> false) then
+              num (j + 1)
+            else j
+          in
+          let j = num (i + 1) in
+          (match int_of_string_opt (String.sub src i (j - i)) with
+          | Some k -> go j (INT k :: acc)
+          | None -> Error ("bad number at offset " ^ string_of_int i))
+      | c when is_ident_char c ->
+          let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+          let j = word i in
+          let w = String.sub src i (j - i) in
+          let tok = if String.lowercase_ascii w = "free" then FREE else IDENT w in
+          go j (tok :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> Some t | [] -> None
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t name =
+  match peek st with
+  | Some t' when t' = t -> advance st
+  | _ -> raise (Parse_error ("expected " ^ name))
+
+let term st =
+  match peek st with
+  | Some (VAR x) ->
+      advance st;
+      Term.var x
+  | Some (IDENT w) ->
+      advance st;
+      Term.str w
+  | Some (STRING s) ->
+      advance st;
+      Term.str s
+  | Some (INT k) ->
+      advance st;
+      Term.int k
+  | _ -> raise (Parse_error "expected a term")
+
+let rec comma_sep st elem close =
+  match peek st with
+  | Some t when t = close -> []
+  | _ ->
+      let x = elem st in
+      (match peek st with
+      | Some COMMA ->
+          advance st;
+          x :: comma_sep st elem close
+      | _ -> [ x ])
+
+let atom st =
+  match peek st with
+  | Some (IDENT r) ->
+      advance st;
+      expect st LPAREN "(";
+      let args = comma_sep st term RPAREN in
+      expect st RPAREN ")";
+      Atom.make r args
+  | _ -> raise (Parse_error "expected a relation name")
+
+let rec node st : Pattern_tree.spec =
+  expect st LBRACE "{";
+  let atoms = comma_sep st atom RBRACE in
+  expect st RBRACE "}";
+  let kids =
+    match peek st with
+    | Some LBRACKET ->
+        advance st;
+        let rec sep () =
+          let k = node st in
+          match peek st with
+          | Some SEMI ->
+              advance st;
+              k :: sep ()
+          | _ -> [ k ]
+        in
+        let kids = sep () in
+        expect st RBRACKET "]";
+        kids
+    | _ -> []
+  in
+  Node (atoms, kids)
+
+let var_name st =
+  match peek st with
+  | Some (IDENT x) ->
+      advance st;
+      x
+  | Some (VAR x) ->
+      advance st;
+      x
+  | _ -> raise (Parse_error "expected a variable name")
+
+let one_wdpt st =
+  expect st FREE "free";
+  expect st LPAREN "(";
+  let free = comma_sep st var_name RPAREN in
+  expect st RPAREN ")";
+  let spec = node st in
+  Pattern_tree.make ~free spec
+
+let parse src =
+  match tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      try
+        let p = one_wdpt st in
+        (match peek st with
+        | None -> ()
+        | Some _ -> raise (Parse_error "trailing tokens"));
+        Ok p
+      with
+      | Parse_error e -> Error e
+      | Invalid_argument e -> Error e)
+
+let parse_union src =
+  match tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      try
+        let rec go acc =
+          let p = one_wdpt st in
+          match peek st with
+          | Some (IDENT w) when String.uppercase_ascii w = "UNION" ->
+              advance st;
+              go (p :: acc)
+          | None -> List.rev (p :: acc)
+          | Some _ -> raise (Parse_error "expected UNION or end of input")
+        in
+        Ok (go [])
+      with
+      | Parse_error e -> Error e
+      | Invalid_argument e -> Error e)
+
+let parse_fact line =
+  match tokenize line with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks } in
+      try
+        let a = atom st in
+        (match peek st with
+        | None -> ()
+        | Some _ -> raise (Parse_error "trailing tokens"));
+        if Atom.is_ground a then Ok (Atom.to_fact a)
+        else Error "facts must be ground (no variables)"
+      with Parse_error e -> Error e)
+
+let parse_database doc =
+  let db = Database.create () in
+  let rec go n = function
+    | [] -> Ok db
+    | line :: rest ->
+        let stripped = String.trim line in
+        if stripped = "" || stripped.[0] = '#' then go (n + 1) rest
+        else
+          match parse_fact stripped with
+          | Ok f ->
+              Database.add db f;
+              go (n + 1) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" n e)
+  in
+  go 1 (String.split_on_char '\n' doc)
+
+let to_string p = Format.asprintf "%a" Pattern_tree.pp p

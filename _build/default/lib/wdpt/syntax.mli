@@ -1,0 +1,31 @@
+(** Concrete textual syntax for WDPTs over arbitrary relational schemas, and
+    a facts format for databases. The query syntax is exactly what
+    {!Pattern_tree.pp} prints, so parsing and printing round-trip:
+
+    {v
+      free (x, y) { R(?x, ?y), S(?x, "some constant", 3) }
+        [ { T(?y, ?z) } [ { U(?z) } ];
+          { V(?x) } ]
+    v}
+
+    [?ident] is a variable, integers and quoted strings are constants, and a
+    bare identifier in argument position is a string constant. Facts files
+    contain one ground atom per line, e.g. [knows(ann, bob)]; ['#'] starts a
+    comment. *)
+
+open Relational
+
+val parse : string -> (Pattern_tree.t, string) result
+
+(** Unions of WDPTs (Section 6): disjuncts separated by the keyword [UNION],
+    e.g. [free (x) { R(?x) } UNION free (x) { S(?x, ?y) }]. *)
+val parse_union : string -> (Union.t, string) result
+
+(** Parse one ground atom, e.g. [R(1, "x", foo)]. *)
+val parse_fact : string -> (Fact.t, string) result
+
+(** Parse a facts document (one fact per line). *)
+val parse_database : string -> (Database.t, string) result
+
+(** [to_string p] prints in the parseable syntax. *)
+val to_string : Pattern_tree.t -> string

@@ -1,0 +1,50 @@
+(** Unions of WDPTs (Section 6): evaluation, the [φ_cq] translation
+    (Proposition 9 / Example 8), UWB(k)-membership (Theorem 17) and
+    UWB(k)-approximation (Theorem 18). *)
+
+open Relational
+
+type t = Pattern_tree.t list
+
+val eval : Database.t -> t -> Mapping.Set.t
+val eval_max : Database.t -> t -> Mapping.Set.t
+
+(** ⋃-EVAL. *)
+val decision : Database.t -> t -> Mapping.t -> bool
+
+(** ⋃-PARTIAL-EVAL (via the tractable per-WDPT algorithm). *)
+val partial_decision : Database.t -> t -> Mapping.t -> bool
+
+(** ⋃-MAX-EVAL: is [h] in the union's evaluation and maximal within it?
+    Implemented via per-WDPT partial-evaluation checks. *)
+val max_decision : Database.t -> t -> Mapping.t -> bool
+
+(** [subsumes u1 u2]: [φ ⊑ φ′] for unions. *)
+val subsumes : t -> t -> bool
+
+val equivalent : t -> t -> bool
+
+(** [phi_cq u]: the union of CQs [r_{T′}] over all disjuncts and rooted
+    subtrees; [φ ≡ₛ φ_cq] (Section 6). Exponential in the trees' sizes. *)
+val phi_cq : t -> Cq.Query.t list
+
+(** [reduce_cqs qs]: remove CQs contained in another CQ of the list
+    (the [φ_cq^r] of Theorem 17's proof). *)
+val reduce_cqs : Cq.Query.t list -> Cq.Query.t list
+
+(** Theorem 17: is [φ ∈ M(UWB(k))]? Exact: checks that every CQ of the
+    reduced [φ_cq] is equivalent to one in C(k) (via cores). *)
+val in_m_uwb : width:Classes.width -> k:int -> t -> bool
+
+(** Theorem 17(2): when the membership test succeeds, the equivalent union of
+    polynomial-size WB(k) WDPTs (here: single-node WDPTs, i.e. the cores). *)
+val uwb_witness : width:Classes.width -> k:int -> t -> t option
+
+(** Theorem 18: the UWB(k)-approximation of [φ] — the union of the
+    C(k)-approximations of the CQs of [φ_cq], pruned by containment. Unique
+    up to ≡ₛ. *)
+val uwb_approximation : width:Classes.width -> k:int -> t -> t
+
+(** Proposition 10 decision problem: is [φ'] (a union of WB(k) WDPTs) a
+    UWB(k)-approximation of [φ]? *)
+val is_uwb_approximation : width:Classes.width -> k:int -> t -> t -> bool

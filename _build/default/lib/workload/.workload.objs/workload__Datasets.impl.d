@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Database Fact Printf Random Rdf Relational Term Value Wdpt

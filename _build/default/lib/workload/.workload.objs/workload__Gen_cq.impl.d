@@ -1,0 +1,1 @@
+lib/workload/gen_cq.ml: Atom Cq Fun List Random Relational Term

@@ -1,0 +1,1 @@
+lib/workload/gen_db.ml: Array Database Fact List Random Relational Value

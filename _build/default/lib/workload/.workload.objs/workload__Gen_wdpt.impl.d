@@ -1,0 +1,1 @@
+lib/workload/gen_wdpt.ml: Atom List Random Relational String Term Wdpt

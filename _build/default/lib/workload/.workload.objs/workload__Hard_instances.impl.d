@@ -1,0 +1,1 @@
+lib/workload/hard_instances.ml: Atom List Relational Term Wdpt

@@ -1,0 +1,69 @@
+open Relational
+
+let t3 s p o = Rdf.Triple.make (Value.str s) (Value.str p) (Value.str o)
+
+let example2_db () =
+  Rdf.Graph.database
+    (Rdf.Graph.of_triples
+       [ t3 "Our_love" "recorded_by" "Caribou";
+         t3 "Our_love" "published" "after_2010";
+         t3 "Swim" "recorded_by" "Caribou";
+         t3 "Swim" "published" "after_2010";
+         t3 "Swim" "NME_rating" "2" ])
+
+let figure1_wdpt ~free =
+  let v = Term.var and c = Term.str in
+  let tr a b d = Rdf.Triple.pattern_to_atom (a, b, d) in
+  Wdpt.Pattern_tree.make ~free
+    (Node
+       ( [ tr (v "x") (c "recorded_by") (v "y");
+           tr (v "x") (c "published") (c "after_2010") ],
+         [ Node ([ tr (v "x") (c "NME_rating") (v "z") ], []);
+           Node ([ tr (v "y") (c "formed_in") (v "z'") ], []) ] ))
+
+let music_catalog ~seed ~bands ~records_per_band ~rating_prob ~formed_prob =
+  let st = Random.State.make [| seed |] in
+  let g = Rdf.Graph.create () in
+  for b = 0 to bands - 1 do
+    let band = Printf.sprintf "band%d" b in
+    if Random.State.float st 1.0 < formed_prob then
+      Rdf.Graph.add g
+        (Rdf.Triple.make (Value.str band) (Value.str "formed_in")
+           (Value.int (1960 + Random.State.int st 60)));
+    for r = 0 to records_per_band - 1 do
+      let record = Printf.sprintf "record%d_%d" b r in
+      Rdf.Graph.add g
+        (Rdf.Triple.make (Value.str record) (Value.str "recorded_by") (Value.str band));
+      let era = if Random.State.bool st then "after_2010" else "before_2010" in
+      Rdf.Graph.add g
+        (Rdf.Triple.make (Value.str record) (Value.str "published") (Value.str era));
+      if Random.State.float st 1.0 < rating_prob then
+        Rdf.Graph.add g
+          (Rdf.Triple.make (Value.str record) (Value.str "NME_rating")
+             (Value.int (1 + Random.State.int st 10)))
+    done
+  done;
+  g
+
+let social_network ~seed ~people ~avg_friends ~email_prob ~phone_prob ~city_prob =
+  let st = Random.State.make [| seed |] in
+  let db = Database.create () in
+  let person i = Value.str (Printf.sprintf "p%d" i) in
+  for i = 0 to people - 1 do
+    Database.add db (Fact.make "person" [ person i ]);
+    for _ = 1 to avg_friends do
+      let j = Random.State.int st people in
+      if j <> i then Database.add db (Fact.make "knows" [ person i; person j ])
+    done;
+    if Random.State.float st 1.0 < email_prob then
+      Database.add db
+        (Fact.make "email" [ person i; Value.str (Printf.sprintf "p%d@example.org" i) ]);
+    if Random.State.float st 1.0 < phone_prob then
+      Database.add db
+        (Fact.make "phone" [ person i; Value.int (600000000 + Random.State.int st 99999999) ]);
+    if Random.State.float st 1.0 < city_prob then
+      Database.add db
+        (Fact.make "lives_in"
+           [ person i; Value.str (Printf.sprintf "city%d" (Random.State.int st 20)) ])
+  done;
+  db

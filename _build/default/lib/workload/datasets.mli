@@ -1,0 +1,34 @@
+(** Realistic datasets for the examples and benchmarks. *)
+
+open Relational
+
+(** The five-triple database of Example 2 (over {!Rdf.Triple.relation}). *)
+val example2_db : unit -> Database.t
+
+(** The Figure-1 WDPT (Example 1), with the given projection. *)
+val figure1_wdpt : free:string list -> Wdpt.Pattern_tree.t
+
+(** [music_catalog ~seed ~bands ~records_per_band ~rating_prob ~formed_prob]:
+    a synthetic bands-and-records RDF graph in the spirit of Example 1:
+    every record has [recorded_by] and [published] triples; ratings and
+    formation years are present only with the given probabilities (the
+    incompleteness that motivates OPT). *)
+val music_catalog :
+  seed:int ->
+  bands:int ->
+  records_per_band:int ->
+  rating_prob:float ->
+  formed_prob:float ->
+  Rdf.Graph.t
+
+(** [social_network ~seed ~people ~avg_friends ~email_prob ~phone_prob ~city_prob]:
+    relational (non-RDF) schema with optional profile attributes:
+    person/1, knows/2, email/2, phone/2, lives_in/2. *)
+val social_network :
+  seed:int ->
+  people:int ->
+  avg_friends:int ->
+  email_prob:float ->
+  phone_prob:float ->
+  city_prob:float ->
+  Database.t

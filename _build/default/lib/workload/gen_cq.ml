@@ -1,0 +1,47 @@
+open Relational
+
+let x i = "x" ^ string_of_int i
+let e a b = Atom.make "E" [ Term.var a; Term.var b ]
+
+let chain n =
+  let body = List.init n (fun i -> e (x i) (x (i + 1))) in
+  Cq.Query.make ~head:[ x 0; x n ] ~body
+
+let cycle n =
+  let body = List.init n (fun i -> e (x i) (x ((i + 1) mod n))) in
+  Cq.Query.boolean body
+
+let clique n =
+  let body =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j -> if i <> j then Some (e (x i) (x j)) else None)
+             (List.init n Fun.id)))
+  in
+  Cq.Query.boolean body
+
+let star n =
+  let body = List.init n (fun i -> e "c" (x (i + 1))) in
+  Cq.Query.make ~head:[ "c" ] ~body
+
+let guarded_clique n =
+  let guard = Atom.make ("T" ^ string_of_int n) (List.init n (fun i -> Term.var (x (i + 1)))) in
+  let body =
+    guard
+    :: List.concat
+         (List.init n (fun i ->
+              List.filter_map
+                (fun j -> if i < j then Some (e (x (i + 1)) (x (j + 1))) else None)
+                (List.init n Fun.id)))
+  in
+  Cq.Query.boolean body
+
+let random ~seed ~vars ~atoms ~rel =
+  let st = Random.State.make [| seed |] in
+  let body =
+    List.init atoms (fun _ ->
+        let a = Random.State.int st vars and b = Random.State.int st vars in
+        Atom.make rel [ Term.var (x a); Term.var (x b) ])
+  in
+  Cq.Query.boolean body

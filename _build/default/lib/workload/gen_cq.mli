@@ -1,0 +1,21 @@
+(** Structured and random CQ generators (Example 4/5 families and random
+    queries with controlled width). *)
+
+(** [chain n]: Ans(x0,xn) <- E(x0,x1), ..., E(x_{n-1},x_n) — TW(1). *)
+val chain : int -> Cq.Query.t
+
+(** [cycle n]: Boolean n-cycle — TW(2) for n >= 3. *)
+val cycle : int -> Cq.Query.t
+
+(** [clique n]: Boolean n-clique over E — TW(n-1) (Example 4). *)
+val clique : int -> Cq.Query.t
+
+(** [star n]: Ans(c) <- E(c,x1), ..., E(c,xn) — acyclic. *)
+val star : int -> Cq.Query.t
+
+(** [guarded_clique n]: Example 5's θ_n — the n-clique plus a guard atom
+    T_n(x1..xn); acyclic (HW(1)) but of treewidth n-1. *)
+val guarded_clique : int -> Cq.Query.t
+
+(** [random ~seed ~vars ~atoms ~rel]: random Boolean binary-relation CQ. *)
+val random : seed:int -> vars:int -> atoms:int -> rel:string -> Cq.Query.t

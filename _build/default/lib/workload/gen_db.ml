@@ -1,0 +1,36 @@
+open Relational
+
+let random ~seed ~schema ~domain ~facts =
+  let st = Random.State.make [| seed |] in
+  let db = Database.create () in
+  let schema = Array.of_list schema in
+  for _ = 1 to facts do
+    let rel, arity = schema.(Random.State.int st (Array.length schema)) in
+    let tuple = List.init arity (fun _ -> Value.int (Random.State.int st domain)) in
+    Database.add db (Fact.make rel tuple)
+  done;
+  db
+
+let random_graph_db ~seed ~nodes ~edges =
+  let st = Random.State.make [| seed |] in
+  let db = Database.create () in
+  for _ = 1 to edges do
+    let a = Random.State.int st nodes and b = Random.State.int st nodes in
+    Database.add db (Fact.make "E" [ Value.int a; Value.int b ])
+  done;
+  db
+
+let chain_db ~rel ~length =
+  Database.of_list
+    (List.init length (fun i -> Fact.make rel [ Value.int i; Value.int (i + 1) ]))
+
+let grid_db ~rel ~side =
+  let db = Database.create () in
+  let id i j = Value.int ((i * side) + j) in
+  for i = 0 to side - 1 do
+    for j = 0 to side - 1 do
+      if j + 1 < side then Database.add db (Fact.make rel [ id i j; id i (j + 1) ]);
+      if i + 1 < side then Database.add db (Fact.make rel [ id i j; id (i + 1) j ])
+    done
+  done;
+  db

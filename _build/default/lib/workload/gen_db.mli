@@ -1,0 +1,18 @@
+(** Random and structured database generators for tests and benchmarks. *)
+
+open Relational
+
+(** [random ~seed ~schema ~domain ~facts]: [facts] random facts over the
+    given relations, constants drawn uniformly from [0 .. domain-1]. *)
+val random :
+  seed:int -> schema:(string * int) list -> domain:int -> facts:int -> Database.t
+
+(** [random_graph_db ~seed ~nodes ~edges]: binary relation ["E"] as a random
+    directed graph. *)
+val random_graph_db : seed:int -> nodes:int -> edges:int -> Database.t
+
+(** [chain_db ~rel ~length]: the path 0 -> 1 -> ... -> length. *)
+val chain_db : rel:string -> length:int -> Database.t
+
+(** [grid_db ~rel ~side]: directed grid edges. *)
+val grid_db : rel:string -> side:int -> Database.t

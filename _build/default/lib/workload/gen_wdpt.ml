@@ -1,0 +1,77 @@
+open Relational
+
+type node_style =
+  | Chain
+  | Clique of int
+
+let random ~seed ~depth ~branching ~vars_per_node ~interface ~free_per_node ~style
+    ~rel =
+  let st = Random.State.make [| seed |] in
+  let counter = ref 0 in
+  let fresh_var () =
+    incr counter;
+    "v" ^ string_of_int !counter
+  in
+  let free = ref [] in
+  let atom a b = Atom.make rel [ Term.var a; Term.var b ] in
+  let rec build level parent_vars : Wdpt.Pattern_tree.spec =
+    let shared =
+      if parent_vars = [] then []
+      else begin
+        let want = min interface (List.length parent_vars) in
+        let shuffled =
+          List.map (fun v -> (Random.State.bits st, v)) parent_vars
+          |> List.sort compare |> List.map snd
+        in
+        List.filteri (fun i _ -> i < want) shuffled
+      end
+    in
+    let fresh = List.init (max 1 vars_per_node) (fun _ -> fresh_var ()) in
+    List.iteri (fun i v -> if i < free_per_node then free := v :: !free) fresh;
+    let vars = shared @ fresh in
+    let atoms =
+      match style with
+      | Chain ->
+          let rec link = function
+            | a :: (b :: _ as rest) -> atom a b :: link rest
+            | [ a ] -> [ atom a a ]
+            | [] -> []
+          in
+          link vars
+      | Clique size -> (
+          match vars with
+          | [ a ] ->
+              (* every declared variable must occur in the node's atoms, or
+                 passing it to several children breaks well-designedness *)
+              [ atom a a ]
+          | _ ->
+              let clique_vars = List.filteri (fun i _ -> i < size) (vars @ vars) in
+              let rec pairs = function
+                | [] -> []
+                | a :: rest -> List.map (fun b -> atom a b) rest @ pairs rest
+              in
+              let base =
+                match vars with
+                | a :: (_ :: _ as rest) -> List.map (atom a) rest
+                | [ _ ] | [] -> []
+              in
+              pairs (List.sort_uniq String.compare clique_vars) @ base)
+    in
+    let kids =
+      if level >= depth then []
+      else List.init branching (fun _ -> build (level + 1) vars)
+    in
+    Node (atoms, kids)
+  in
+  let spec = build 0 [] in
+  Wdpt.Pattern_tree.make ~free:(List.rev !free) spec
+
+let chain_tree ~nodes ~rel =
+  let atom a b = Atom.make rel [ Term.var a; Term.var b ] in
+  let s i = "s" ^ string_of_int i in
+  let f i = "f" ^ string_of_int i in
+  let rec build i : Wdpt.Pattern_tree.spec =
+    let kids = if i + 1 >= nodes then [] else [ build (i + 1) ] in
+    Node ([ atom (s i) (f i); atom (f i) (s (i + 1)) ], kids)
+  in
+  Wdpt.Pattern_tree.make ~free:(List.init nodes f) (build 0)

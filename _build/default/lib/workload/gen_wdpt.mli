@@ -1,0 +1,29 @@
+(** Random WDPT generators with controlled fragment membership. *)
+
+(** Shape of each node's local pattern. *)
+type node_style =
+  | Chain   (** path-shaped local CQ: locally in TW(1) *)
+  | Clique of int  (** local clique of the given size: treewidth size-1 *)
+
+(** [random ~seed ~depth ~branching ~vars_per_node ~interface ~free_per_node
+    ~style ~rel p] builds a well-designed pattern tree: every node shares at
+    most [interface] variables with its parent (hence the tree is in
+    BI(interface + shared-by-children)), introduces [vars_per_node] fresh
+    variables connected in the given [style], and marks [free_per_node] of
+    its fresh variables as free. *)
+val random :
+  seed:int ->
+  depth:int ->
+  branching:int ->
+  vars_per_node:int ->
+  interface:int ->
+  free_per_node:int ->
+  style:node_style ->
+  rel:string ->
+  Wdpt.Pattern_tree.t
+
+(** A deterministic ℓ-TW(1) ∩ BI(1) family used by the Table-1 benches:
+    a chain-of-nodes WDPT of the given number of nodes, each node a 2-atom
+    path over [rel], sharing one variable with its parent, one free variable
+    per node. *)
+val chain_tree : nodes:int -> rel:string -> Wdpt.Pattern_tree.t

@@ -1,0 +1,79 @@
+open Relational
+
+let v = Term.var
+let unary r t = Atom.make r [ t ]
+let d a b = Atom.make "d" [ a; b ]
+
+let alpha i = "alpha" ^ string_of_int i
+let z i = "z" ^ string_of_int i
+let xi i = "x" ^ string_of_int i
+
+let all_pairs vars =
+  List.concat_map
+    (fun a -> List.filter_map (fun b -> if a <> b then Some (a, b) else None) vars)
+    vars
+
+let figure2 ~n ~k =
+  let alphas = List.init (k + 1) alpha in
+  let zs = List.init n (fun i -> z (i + 1)) in
+  let shared_root =
+    (unary "a" (v "x") :: List.mapi (fun i al -> unary ("b" ^ string_of_int i) (v al)) alphas)
+    @ List.init n (fun i -> unary ("c" ^ string_of_int (i + 1)) (v (alpha 0)))
+    @ [ d (v (alpha 0)) (v (alpha 0)); d (v (alpha 1)) (v (alpha 1)) ]
+  in
+  let p1_root =
+    shared_root
+    @ List.init n (fun i -> unary ("c" ^ string_of_int (i + 1)) (v (z (i + 1))))
+    @ List.map (fun (a, b) -> d (v a) (v b)) (all_pairs (alphas @ zs))
+  in
+  let p2_root =
+    shared_root @ List.map (fun (a, b) -> d (v a) (v b)) (all_pairs alphas)
+  in
+  let p1_leaf0 =
+    Wdpt.Pattern_tree.Node
+      ([ unary "a0" (v (xi 0)); Atom.make "e" (List.map v zs) ], [])
+  in
+  (* every instantiation of e(z1..zn) over {alpha0, alpha1} *)
+  let rec tuples m =
+    if m = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> [ v (alpha 0) :: rest; v (alpha 1) :: rest ])
+        (tuples (m - 1))
+  in
+  let p2_leaf0 =
+    Wdpt.Pattern_tree.Node
+      (unary "a0" (v (xi 0)) :: List.map (Atom.make "e") (tuples n), [])
+  in
+  let p1_leaf i =
+    (* the shared relation b1 forces z_i ↦ α₁ exactly when this leaf is
+       included (proof sketch of Theorem 15) *)
+    Wdpt.Pattern_tree.Node
+      ( [ unary ("a" ^ string_of_int i) (v (xi i));
+          unary "b1" (v (z i));
+          unary ("c" ^ string_of_int i) (v (alpha 1)) ],
+        [] )
+  in
+  let p2_leaf i =
+    Wdpt.Pattern_tree.Node
+      ( [ unary ("a" ^ string_of_int i) (v (xi i));
+          unary ("c" ^ string_of_int i) (v (alpha 1)) ],
+        [] )
+  in
+  let free = "x" :: List.init (n + 1) xi in
+  let p1 =
+    Wdpt.Pattern_tree.make ~free
+      (Node (p1_root, p1_leaf0 :: List.init n (fun i -> p1_leaf (i + 1))))
+  in
+  let p2 =
+    Wdpt.Pattern_tree.make ~free
+      (Node (p2_root, p2_leaf0 :: List.init n (fun i -> p2_leaf (i + 1))))
+  in
+  (p1, p2)
+
+let prop2_family ~m =
+  let w i = "w" ^ string_of_int i in
+  let e a b = Atom.make "E" [ v a; v b ] in
+  let path = List.init (max 1 (m - 1)) (fun i -> e (w i) (w (i + 1))) in
+  Wdpt.Pattern_tree.make ~free:[ w 0 ]
+    (Node (path, [ Node (path, []) ]))

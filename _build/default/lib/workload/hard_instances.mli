@@ -1,0 +1,14 @@
+(** The crafted instance families behind the paper's lower bounds. *)
+
+(** [figure2 ~n ~k]: the pair (p₁⁽ⁿ⁾, p₂⁽ⁿ⁾) of Figure 2 / Theorem 15,
+    with free variables {x, x₀, ..., xₙ}. [p₁] has a (k+1+n)-clique in its
+    root (size O(n² + k²)); [p₂] instantiates the zᵢ's to α₀/α₁ and its
+    first leaf carries all 2ⁿ instantiations of e(z₁..zₙ) (size Ω(2ⁿ)).
+    Any WB(k)-approximation of p₁ subsuming p₂ must be at least as large as
+    p₂. *)
+val figure2 : n:int -> k:int -> Wdpt.Pattern_tree.t * Wdpt.Pattern_tree.t
+
+(** A g-TW(k) family that is in no BI(c) (Proposition 2(2)): a two-node tree
+    whose root and child share [m] variables, each node a path on the shared
+    variables (treewidth 1, interface m). *)
+val prop2_family : m:int -> Wdpt.Pattern_tree.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atom Cq Database Fact Format List Mapping QCheck QCheck_alcotest Relational String_set Term Value Wdpt

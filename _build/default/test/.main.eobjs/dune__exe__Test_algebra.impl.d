@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Helpers List Mapping QCheck Rdf Relational Term Value Wdpt

@@ -1,0 +1,1 @@
+test/test_approximation.ml: Alcotest Helpers List Wdpt Workload

@@ -1,0 +1,1 @@
+test/test_classes.ml: Alcotest Cq Helpers Hypergraphs List Wdpt Workload

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Cq Database Fact Helpers Hypergraphs List Mapping QCheck Relational String_set Value Workload

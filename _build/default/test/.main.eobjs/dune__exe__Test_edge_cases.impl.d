@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Cq Database Fact Helpers Hypergraphs List Mapping Mapping_algebra Option Rdf Relational Schema String_set Term Value Wdpt Workload

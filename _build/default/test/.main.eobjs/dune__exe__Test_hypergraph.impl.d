@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Format Helpers Hypergraphs List Option Printf QCheck Relational String_set

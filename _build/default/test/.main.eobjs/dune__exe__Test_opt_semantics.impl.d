@@ -1,0 +1,1 @@
+test/test_opt_semantics.ml: Alcotest Database Fact Helpers Mapping Rdf Relational Term Value Wdpt

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Cq Helpers Mapping QCheck Relational String Wdpt Workload

@@ -1,0 +1,1 @@
+test/test_paper_claims.ml: Alcotest Cq Helpers Hypergraphs List Mapping QCheck Relational Seq Value Wdpt Workload

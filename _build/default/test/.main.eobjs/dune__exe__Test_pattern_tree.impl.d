@@ -1,0 +1,1 @@
+test/test_pattern_tree.ml: Alcotest Cq Helpers List Relational Seq String_set Wdpt

@@ -1,0 +1,1 @@
+test/test_projection_free.ml: Alcotest Atom Helpers List Mapping QCheck Relational String_set Wdpt

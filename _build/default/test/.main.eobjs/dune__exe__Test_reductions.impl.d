@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Helpers QCheck Wdpt

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Atom Database Fact Helpers List Mapping Option Relational Result Schema String_set Term Value

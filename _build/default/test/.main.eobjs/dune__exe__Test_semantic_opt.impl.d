@@ -1,0 +1,1 @@
+test/test_semantic_opt.ml: Alcotest Cq Helpers Mapping Option QCheck Relational Wdpt Workload

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Cq Helpers List Mapping QCheck Relational String_set Value Wdpt Workload

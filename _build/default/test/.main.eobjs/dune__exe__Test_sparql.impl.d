@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Atom Database Fact Helpers List Mapping QCheck Rdf Relational Result Term Value Wdpt

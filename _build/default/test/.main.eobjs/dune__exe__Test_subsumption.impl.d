@@ -1,0 +1,1 @@
+test/test_subsumption.ml: Alcotest Cq Helpers List Mapping QCheck Rdf Relational Seq Term Wdpt Workload

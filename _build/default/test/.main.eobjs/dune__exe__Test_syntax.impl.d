@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Atom Database Fact Helpers List Relational Result Term Value Wdpt

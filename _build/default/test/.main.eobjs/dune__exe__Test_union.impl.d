@@ -1,0 +1,1 @@
+test/test_union.ml: Alcotest Cq Helpers List Mapping QCheck Relational Wdpt Workload

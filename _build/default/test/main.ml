@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "wdpt"
+    [ ("relational", Test_relational.suite);
+      ("hypergraph", Test_hypergraph.suite);
+      ("cq", Test_cq.suite);
+      ("pattern-tree", Test_pattern_tree.suite);
+      ("semantics", Test_semantics.suite);
+      ("projection-free", Test_projection_free.suite);
+      ("algebra", Test_algebra.suite);
+      ("syntax", Test_syntax.suite);
+      ("classes", Test_classes.suite);
+      ("subsumption", Test_subsumption.suite);
+      ("approximation", Test_approximation.suite);
+      ("semantic-opt", Test_semantic_opt.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("union", Test_union.suite);
+      ("reductions", Test_reductions.suite);
+      ("sparql", Test_sparql.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("opt-semantics", Test_opt_semantics.suite);
+      ("paper-claims", Test_paper_claims.suite) ]

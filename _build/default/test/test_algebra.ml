@@ -1,0 +1,131 @@
+(* The SPARQL algebra (Pérez et al. [18]) and the bottom-up algebraic WDPT
+   evaluator: three independent semantics implementations must agree on
+   well-designed inputs. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+
+let graph_of edges =
+  Rdf.Graph.of_triples
+    (List.map
+       (fun (s, p, o) -> Rdf.Triple.make (Value.str s) (Value.str p) (Value.str o))
+       edges)
+
+let test_bgp () =
+  let g = graph_of [ ("a", "p", "b"); ("b", "p", "c") ] in
+  let sols =
+    Rdf.Algebra.eval_expr g (Bgp [ (Term.var "x", Term.str "p", Term.var "y") ])
+  in
+  check_int "two matches" 2 (Mapping.Set.cardinal sols)
+
+let test_opt_semantics () =
+  let g = graph_of [ ("a", "p", "b"); ("b", "q", "c") ] in
+  let expr =
+    Rdf.Sparql.Opt
+      ( Rdf.Sparql.Bgp [ (Term.var "x", Term.str "p", Term.var "y") ],
+        Rdf.Sparql.Bgp [ (Term.var "y", Term.str "q", Term.var "z") ] )
+  in
+  let sols = Rdf.Algebra.eval_expr g expr in
+  (* a-p-b extends to b-q-c: one total mapping *)
+  check_int "one solution" 1 (Mapping.Set.cardinal sols);
+  check_int "fully bound" 3 (Mapping.cardinal (Mapping.Set.choose sols));
+  (* remove the q triple: the partial mapping survives (left outer join) *)
+  let g2 = graph_of [ ("a", "p", "b") ] in
+  let sols2 = Rdf.Algebra.eval_expr g2 expr in
+  check_int "partial solution" 1 (Mapping.Set.cardinal sols2);
+  check_int "only x y bound" 2 (Mapping.cardinal (Mapping.Set.choose sols2))
+
+let test_and_join () =
+  let g = graph_of [ ("a", "p", "b"); ("a", "q", "c"); ("d", "p", "e") ] in
+  let expr =
+    Rdf.Sparql.And
+      ( Rdf.Sparql.Bgp [ (Term.var "x", Term.str "p", Term.var "y") ],
+        Rdf.Sparql.Bgp [ (Term.var "x", Term.str "q", Term.var "z") ] )
+  in
+  check_int "join filters" 1 (Mapping.Set.cardinal (Rdf.Algebra.eval_expr g expr))
+
+let test_non_well_designed_still_evaluates () =
+  (* the algebra gives meaning even to non-well-designed patterns *)
+  let expr =
+    Rdf.Sparql.And
+      ( Rdf.Sparql.Opt
+          ( Rdf.Sparql.Bgp [ (Term.var "x", Term.str "p", Term.var "y") ],
+            Rdf.Sparql.Bgp [ (Term.var "x", Term.str "q", Term.var "z") ] ),
+        Rdf.Sparql.Bgp [ (Term.var "z", Term.str "r", Term.var "w") ] )
+  in
+  check_bool "not well-designed" false (Rdf.Sparql.is_well_designed expr);
+  let g = graph_of [ ("a", "p", "b"); ("c", "r", "d") ] in
+  (* x-p-y matches with z unbound; compatible with any z-r-w binding *)
+  check_int "evaluates anyway" 1
+    (Mapping.Set.cardinal (Rdf.Algebra.eval_expr g expr))
+
+(* cross-validation: for well-designed queries, the algebra agrees with the
+   WDPT semantics after translation *)
+let gen_sparql_query =
+  QCheck.Gen.(
+    let t v = Term.var v in
+    let pat s p o = (s, p, o) in
+    let* root_rel = oneofl [ "p"; "q" ] in
+    let* opt1_rel = oneofl [ "q"; "r" ] in
+    let* opt2_rel = oneofl [ "r"; "s" ] in
+    let* nested = bool in
+    let root = Rdf.Sparql.Bgp [ pat (t "x") (Term.str root_rel) (t "y") ] in
+    let o1 = Rdf.Sparql.Bgp [ pat (t "x") (Term.str opt1_rel) (t "z") ] in
+    let o2 = Rdf.Sparql.Bgp [ pat (t "y") (Term.str opt2_rel) (t "w") ] in
+    let where =
+      if nested then Rdf.Sparql.Opt (Rdf.Sparql.Opt (root, o1), o2)
+      else Rdf.Sparql.Opt (root, Rdf.Sparql.Opt (o1, o2))
+    in
+    let* select = oneofl [ None; Some [ "x"; "z" ]; Some [ "y"; "w" ] ] in
+    return { Rdf.Sparql.select; where })
+
+let gen_triple_graph =
+  QCheck.Gen.(
+    let* m = int_range 1 12 in
+    let* triples =
+      list_size (return m)
+        (let* s = int_range 0 4 in
+         let* p = oneofl [ "p"; "q"; "r"; "s" ] in
+         let* o = int_range 0 4 in
+         return
+           (Rdf.Triple.make
+              (Value.str ("n" ^ string_of_int s))
+              (Value.str p)
+              (Value.str ("n" ^ string_of_int o))))
+    in
+    return (Rdf.Graph.of_triples triples))
+
+let prop_algebra_vs_wdpt =
+  qtest ~count:200 "SPARQL algebra = WDPT semantics on well-designed queries"
+    (QCheck.make
+       (QCheck.Gen.pair gen_sparql_query gen_triple_graph))
+    (fun (q, g) ->
+      if not (Rdf.Sparql.is_well_designed q.Rdf.Sparql.where) then true
+      else begin
+        let p = Rdf.Sparql.to_pattern_tree q in
+        let db = Rdf.Graph.database g in
+        Mapping.Set.equal (Rdf.Algebra.eval g q) (Wdpt.Semantics.eval db p)
+      end)
+
+let prop_algebra_eval_vs_procedural =
+  qtest ~count:150 "bottom-up algebraic evaluator = procedural semantics"
+    (QCheck.pair arbitrary_wdpt arbitrary_db) (fun (p, db) ->
+      Mapping.Set.equal (Wdpt.Algebra_eval.eval db p) (Wdpt.Semantics.eval db p))
+
+let prop_algebra_solutions_are_max_homs =
+  qtest ~count:100 "algebraic solutions = maximal homomorphisms"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let a = Wdpt.Algebra_eval.solutions db p in
+      let b = Mapping.Set.of_list (Wdpt.Semantics.maximal_homomorphisms db p) in
+      Mapping.Set.equal a b)
+
+let suite =
+  [ Alcotest.test_case "BGP evaluation" `Quick test_bgp;
+    Alcotest.test_case "OPT left outer join" `Quick test_opt_semantics;
+    Alcotest.test_case "AND join" `Quick test_and_join;
+    Alcotest.test_case "non-well-designed patterns" `Quick
+      test_non_well_designed_still_evaluates;
+    prop_algebra_vs_wdpt;
+    prop_algebra_eval_vs_procedural;
+    prop_algebra_solutions_are_max_homs ]

@@ -1,0 +1,103 @@
+(* Fragment classes (Section 3) and Proposition 2. *)
+
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module Cl = Wdpt.Classes
+
+let test_figure1_classification () =
+  (* Example 6: the Figure-1 WDPT is in ℓ-TW(1) and BI(2) *)
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "x"; "y"; "z"; "z'" ] in
+  check_bool "locally TW(1)" true (Cl.locally_in ~width:Tw ~k:1 p);
+  check_int "interface 2" 2 (Cl.interface p);
+  check_bool "BI(2)" true (Cl.bounded_interface ~c:2 p);
+  check_bool "not BI(1)" false (Cl.bounded_interface ~c:1 p);
+  check_bool "globally TW(1)" true (Cl.globally_in ~width:Tw ~k:1 p);
+  check_bool "WB(1)" true (Cl.in_wb ~width:Tw ~k:1 p)
+
+let test_local_vs_global () =
+  (* two triangle-free nodes that build a triangle together: locally TW(1)
+     but globally TW(2) *)
+  let p =
+    Pt.make ~free:[ "x" ]
+      (Node ([ e "x" "y"; e "y" "z" ], [ Node ([ e "z" "x" ], []) ]))
+  in
+  check_bool "locally TW(1)" true (Cl.locally_in ~width:Tw ~k:1 p);
+  check_bool "not globally TW(1)" false (Cl.globally_in ~width:Tw ~k:1 p);
+  check_bool "globally TW(2)" true (Cl.globally_in ~width:Tw ~k:2 p)
+
+let test_interface_single_node () =
+  let p = Pt.of_cq (Workload.Gen_cq.clique 4) in
+  check_int "single node interface 0" 0 (Cl.interface p);
+  check_bool "clique not locally TW(1)" false (Cl.locally_in ~width:Tw ~k:1 p);
+  check_bool "clique locally TW(3)" true (Cl.locally_in ~width:Tw ~k:3 p)
+
+let test_prop2_family () =
+  (* g-TW(1) but arbitrarily large interface (Prop 2(2)) *)
+  List.iter
+    (fun m ->
+      let p = Workload.Hard_instances.prop2_family ~m in
+      check_bool "globally TW(1)" true (Cl.globally_in ~width:Tw ~k:1 p);
+      check_bool "interface grows" true (Cl.interface p >= m - 1))
+    [ 3; 5; 7 ]
+
+let test_hw_classes () =
+  (* guarded clique: in ℓ-HW(1) but not ℓ-TW(1) *)
+  let gc = Workload.Gen_cq.guarded_clique 4 in
+  let p = Pt.of_cq gc in
+  check_bool "locally HW(1)" true (Cl.locally_in ~width:Hw ~k:1 p);
+  check_bool "not locally TW(1)" false (Cl.locally_in ~width:Tw ~k:1 p);
+  check_bool "not locally HW'(1)" false (Cl.locally_in ~width:Hw' ~k:1 p);
+  check_bool "globally HW(1)" true (Cl.globally_in ~width:Hw ~k:1 p)
+
+let test_wb_rejects_hw () =
+  let p = Pt.of_cq (Workload.Gen_cq.chain 3) in
+  check_bool "WB with Hw raises" true
+    (try
+       ignore (Cl.in_wb ~width:Hw ~k:1 p);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prop2_constructive () =
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "x"; "y" ] in
+  match Cl.prop2_decomposition ~k:1 p with
+  | None -> Alcotest.fail "expected a decomposition"
+  | Some td ->
+      let hg = Cq.Query.hypergraph (Pt.q_full p) in
+      check_bool "valid" true (Hypergraphs.Tree_decomposition.is_valid hg td);
+      check_bool "width within k + 2c" true
+        (Hypergraphs.Tree_decomposition.width td <= 1 + (2 * Cl.interface p))
+
+let prop_prop2_constructive =
+  qtest ~count:100 "constructive Prop 2 decomposition is valid and narrow"
+    arbitrary_wdpt (fun p ->
+      let rec least pred i = if pred i then i else least pred (i + 1) in
+      let k = least (fun k -> Cl.locally_in ~width:Tw ~k p) 1 in
+      let c = Cl.interface p in
+      match Cl.prop2_decomposition ~k p with
+      | None -> false
+      | Some td ->
+          let hg = Cq.Query.hypergraph (Pt.q_full p) in
+          Hypergraphs.Tree_decomposition.is_valid hg td
+          && Hypergraphs.Tree_decomposition.width td <= k + (2 * c))
+
+(* Proposition 2(1): ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k + 2c) *)
+let prop_inclusion =
+  qtest ~count:150 "Prop 2: ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k+2c)" arbitrary_wdpt
+    (fun p ->
+      (* find the least k and c for this tree, then check global bound *)
+      let rec least pred i = if pred i then i else least pred (i + 1) in
+      let k = least (fun k -> Cl.locally_in ~width:Tw ~k p) 1 in
+      let c = max 1 (Cl.interface p) in
+      Cl.globally_in ~width:Tw ~k:(k + (2 * c)) p)
+
+let suite =
+  [ Alcotest.test_case "Figure 1 classification (Example 6)" `Quick
+      test_figure1_classification;
+    Alcotest.test_case "local vs global tractability" `Quick test_local_vs_global;
+    Alcotest.test_case "single-node interface" `Quick test_interface_single_node;
+    Alcotest.test_case "Prop 2(2) family" `Quick test_prop2_family;
+    Alcotest.test_case "HW classes (Example 5)" `Quick test_hw_classes;
+    Alcotest.test_case "WB rejects plain HW" `Quick test_wb_rejects_hw;
+    Alcotest.test_case "constructive Prop 2" `Quick test_prop2_constructive;
+    prop_prop2_constructive;
+    prop_inclusion ]

@@ -1,0 +1,170 @@
+(* Treewidth, GYO, generalized hypertreewidth, β-acyclicity. *)
+
+open Relational
+open Helpers
+module H = Hypergraphs.Hypergraph
+module Td = Hypergraphs.Tree_decomposition
+module Gyo = Hypergraphs.Gyo
+module Ht = Hypergraphs.Hypertree
+module Beta = Hypergraphs.Beta
+
+let hg edges = H.make ~vertices:[] ~edges
+
+let path n =
+  hg (List.init n (fun i -> [ "v" ^ string_of_int i; "v" ^ string_of_int (i + 1) ]))
+
+let cyc n =
+  hg
+    (List.init n (fun i ->
+         [ "v" ^ string_of_int i; "v" ^ string_of_int ((i + 1) mod n) ]))
+
+let clique n =
+  let vs = List.init n (fun i -> "v" ^ string_of_int i) in
+  hg
+    (List.concat_map
+       (fun a -> List.filter_map (fun b -> if a < b then Some [ a; b ] else None) vs)
+       vs)
+
+let test_known_treewidths () =
+  check_int "path" 1 (Td.treewidth (path 6));
+  check_int "cycle" 2 (Td.treewidth (cyc 6));
+  check_int "K5" 4 (Td.treewidth (clique 5));
+  check_int "single vertex" 0 (Td.treewidth (hg [ [ "a" ] ]));
+  check_int "empty" (-1) (Td.treewidth (hg []))
+
+let test_grid_treewidth () =
+  (* 3x3 grid has treewidth 3 *)
+  let edges = ref [] in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let s i j = Printf.sprintf "g%d%d" i j in
+      if j < 2 then edges := [ s i j; s i (j + 1) ] :: !edges;
+      if i < 2 then edges := [ s i j; s (i + 1) j ] :: !edges
+    done
+  done;
+  check_int "3x3 grid" 3 (Td.treewidth (hg !edges))
+
+let test_decomposition_validity () =
+  List.iter
+    (fun (name, g, k) ->
+      match Td.at_most g k with
+      | None -> Alcotest.failf "%s: no decomposition of width %d" name k
+      | Some td ->
+          check_bool (name ^ " valid") true (Td.is_valid g td);
+          check_bool (name ^ " width ok") true (Td.width td <= k))
+    [ ("path", path 6, 1); ("cycle", cyc 7, 2); ("K4", clique 4, 3) ];
+  check_bool "cycle needs 2" true (Td.at_most (cyc 7) 1 = None);
+  check_bool "K5 needs 4" true (Td.at_most (clique 5) 3 = None)
+
+let test_bounds () =
+  check_bool "lower <= exact" true (Td.lower_bound (cyc 9) <= 2);
+  let ub, td = Td.upper_bound (cyc 9) in
+  check_bool "upper >= exact" true (ub >= 2);
+  check_bool "heuristic valid" true (Td.is_valid (cyc 9) td)
+
+let test_gyo () =
+  check_bool "path acyclic" true (Gyo.is_acyclic (path 5));
+  check_bool "cycle not" false (Gyo.is_acyclic (cyc 5));
+  check_bool "covered triangle acyclic (alpha)" true
+    (Gyo.is_acyclic (hg [ [ "x"; "y" ]; [ "y"; "z" ]; [ "x"; "z" ]; [ "x"; "y"; "z" ] ]));
+  (* join forest validity *)
+  (match Gyo.join_forest (path 5) with
+  | None -> Alcotest.fail "path must have a join forest"
+  | Some jf -> check_bool "running intersection" true (Gyo.is_join_forest (path 5) jf));
+  (* disconnected: two paths *)
+  let two = hg [ [ "a"; "b" ]; [ "c"; "d" ] ] in
+  check_bool "disconnected acyclic" true (Gyo.is_acyclic two)
+
+let test_ghw () =
+  check_int "acyclic ghw" 1 (Ht.ghw (path 4));
+  check_int "cycle ghw" 2 (Ht.ghw (cyc 6));
+  (match Ht.ghw_at_most (cyc 6) 2 with
+  | None -> Alcotest.fail "cycle must have ghw-2 decomposition"
+  | Some h -> check_bool "htd valid" true (Ht.is_valid (cyc 6) h));
+  check_bool "cycle not ghw 1" true (Ht.ghw_at_most (cyc 6) 1 = None)
+
+let test_beta () =
+  let covered_triangle =
+    hg [ [ "x"; "y" ]; [ "y"; "z" ]; [ "x"; "z" ]; [ "x"; "y"; "z" ] ]
+  in
+  check_bool "covered triangle alpha but not beta" false
+    (Beta.is_beta_acyclic covered_triangle);
+  check_bool "path beta acyclic" true (Beta.is_beta_acyclic (path 5));
+  check_bool "nested chain beta acyclic" true
+    (Beta.is_beta_acyclic (hg [ [ "a" ]; [ "a"; "b" ]; [ "a"; "b"; "c" ] ]));
+  check_int "beta-hw of covered triangle" 2 (Beta.beta_ghw covered_triangle);
+  check_bool "beta monotone vs alpha" true (Beta.beta_ghw_at_most (path 5) 1)
+
+let test_components () =
+  let two = hg [ [ "a"; "b" ]; [ "c"; "d" ]; [ "b"; "e" ] ] in
+  check_int "components" 2 (List.length (H.components two));
+  (* trace semantics: [b; e] leaves its restriction {b} behind *)
+  check_int "induced" 2 (H.num_edges (H.induced two (String_set.of_list [ "a"; "b" ])));
+  check_int "induced disjoint" 0
+    (H.num_edges (H.induced two (String_set.of_list [ "z" ])))
+
+(* properties *)
+
+let gen_graph_hg =
+  QCheck.Gen.(
+    let* n = int_range 2 7 in
+    let* m = int_range 1 10 in
+    let* edges =
+      list_size (return m)
+        (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return
+      (hg
+         (List.filter_map
+            (fun (a, b) ->
+              if a = b then None
+              else Some [ "v" ^ string_of_int a; "v" ^ string_of_int b ])
+            edges)))
+
+let arbitrary_hg = QCheck.make ~print:(Format.asprintf "%a" H.pp) gen_graph_hg
+
+let prop_exact_between_bounds =
+  qtest "lower <= exact <= heuristic upper" arbitrary_hg (fun g ->
+      if H.num_edges g = 0 then true
+      else begin
+        let tw = Td.treewidth g in
+        let ub, _ = Td.upper_bound g in
+        Td.lower_bound g <= tw && tw <= ub
+      end)
+
+let prop_decomposition_valid =
+  qtest "exact decomposition is valid" arbitrary_hg (fun g ->
+      if H.num_edges g = 0 then true
+      else begin
+        let tw = Td.treewidth g in
+        match Td.at_most g tw with
+        | None -> false
+        | Some td -> Td.is_valid g td && Td.width td <= tw
+      end)
+
+let prop_subgraph_monotone =
+  qtest "treewidth monotone under removing edges" arbitrary_hg (fun g ->
+      if H.num_edges g <= 1 then true
+      else begin
+        let sub = H.sub_edges g (fun i -> i > 0) in
+        Td.treewidth sub <= Td.treewidth g
+      end)
+
+let prop_acyclic_iff_ghw1 =
+  qtest "GYO acyclic iff ghw = 1" arbitrary_hg (fun g ->
+      if H.num_edges g = 0 then true
+      else Gyo.is_acyclic g = Option.is_some (Ht.ghw_at_most g 1))
+
+let suite =
+  [ Alcotest.test_case "known treewidths" `Quick test_known_treewidths;
+    Alcotest.test_case "3x3 grid treewidth" `Quick test_grid_treewidth;
+    Alcotest.test_case "decomposition validity" `Quick test_decomposition_validity;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "GYO" `Quick test_gyo;
+    Alcotest.test_case "generalized hypertreewidth" `Quick test_ghw;
+    Alcotest.test_case "beta acyclicity" `Quick test_beta;
+    Alcotest.test_case "components/induced" `Quick test_components;
+    prop_exact_between_bounds;
+    prop_decomposition_valid;
+    prop_subgraph_monotone;
+    prop_acyclic_iff_ghw1 ]

@@ -1,0 +1,173 @@
+(* Corner cases of the optional-matching semantics: blocking across levels,
+   branch independence, constraint propagation through shared variables —
+   each checked against all three engines and the Theorem 6/7 decision
+   procedure. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+
+let engines_agree db p expected =
+  let a = Wdpt.Semantics.eval db p in
+  Alcotest.check mapping_set_testable "procedural" expected a;
+  Alcotest.check mapping_set_testable "reference" expected (Wdpt.Semantics.eval_naive db p);
+  Alcotest.check mapping_set_testable "algebraic" expected (Wdpt.Algebra_eval.eval db p)
+
+(* grandchild extension must block the shorter answer *)
+let test_deep_blocking () =
+  let p =
+    Pt.make ~free:[ "a"; "c" ]
+      (Node
+         ( [ atom "R" [ v "a" ] ],
+           [ Node ([ e "a" "b" ], [ Node ([ e "b" "c" ], []) ]) ] ))
+  in
+  let db =
+    Database.of_list
+      [ Fact.make "R" [ Value.int 1 ];
+        Fact.make "E" [ Value.int 1; Value.int 2 ];
+        Fact.make "E" [ Value.int 2; Value.int 3 ] ]
+  in
+  (* the only maximal hom reaches c = 3: the projection {a, c} *)
+  engines_agree db p (Mapping.Set.singleton (mapping [ ("a", 1); ("c", 3) ]));
+  (* h = {a} alone is not an answer (blocked by the deep extension) *)
+  check_bool "blocked" false (Wdpt.Eval_tractable.decision db p (mapping [ ("a", 1) ]));
+  (* removing the second edge releases it: now the hom stops at b *)
+  let db2 =
+    Database.of_list
+      [ Fact.make "R" [ Value.int 1 ]; Fact.make "E" [ Value.int 1; Value.int 2 ] ]
+  in
+  engines_agree db2 p (Mapping.Set.singleton (mapping [ ("a", 1) ]));
+  check_bool "released" true (Wdpt.Eval_tractable.decision db2 p (mapping [ ("a", 1) ]))
+
+(* two independent branches: every combination of their availability *)
+let test_branch_independence () =
+  let p =
+    Pt.make ~free:[ "x"; "u"; "w" ]
+      (Node
+         ( [ atom "R" [ v "x" ] ],
+           [ Node ([ atom "S" [ v "x"; v "u" ] ], []);
+             Node ([ atom "T" [ v "x"; v "w" ] ], []) ] ))
+  in
+  let base = [ Fact.make "R" [ Value.int 1 ] ] in
+  let s = Fact.make "S" [ Value.int 1; Value.int 7 ] in
+  let t = Fact.make "T" [ Value.int 1; Value.int 9 ] in
+  engines_agree (Database.of_list base)
+    p (Mapping.Set.singleton (mapping [ ("x", 1) ]));
+  engines_agree (Database.of_list (s :: base))
+    p (Mapping.Set.singleton (mapping [ ("x", 1); ("u", 7) ]));
+  engines_agree (Database.of_list (t :: base))
+    p (Mapping.Set.singleton (mapping [ ("x", 1); ("w", 9) ]));
+  engines_agree (Database.of_list (s :: t :: base))
+    p (Mapping.Set.singleton (mapping [ ("x", 1); ("u", 7); ("w", 9) ]))
+
+(* an optional branch that matches for one root image but not another *)
+let test_shared_var_filtering () =
+  let p =
+    Pt.make ~free:[ "x"; "y" ]
+      (Node ([ atom "R" [ v "x" ] ], [ Node ([ e "x" "y" ], []) ]))
+  in
+  let db =
+    Database.of_list
+      [ Fact.make "R" [ Value.int 1 ];
+        Fact.make "R" [ Value.int 2 ];
+        Fact.make "E" [ Value.int 1; Value.int 5 ] ]
+  in
+  engines_agree db p
+    (Mapping.Set.of_list [ mapping [ ("x", 1); ("y", 5) ]; mapping [ ("x", 2) ] ])
+
+(* several maximal extensions within one branch: several answers per root *)
+let test_multiple_extensions () =
+  let p =
+    Pt.make ~free:[ "x"; "y" ]
+      (Node ([ atom "R" [ v "x" ] ], [ Node ([ e "x" "y" ], []) ]))
+  in
+  let db =
+    Database.of_list
+      [ Fact.make "R" [ Value.int 1 ];
+        Fact.make "E" [ Value.int 1; Value.int 5 ];
+        Fact.make "E" [ Value.int 1; Value.int 6 ] ]
+  in
+  engines_agree db p
+    (Mapping.Set.of_list
+       [ mapping [ ("x", 1); ("y", 5) ]; mapping [ ("x", 1); ("y", 6) ] ])
+
+(* the subtle case behind Example 3: a partial answer and its extension can
+   both be answers under projection *)
+let test_partial_and_extension_coexist () =
+  let p =
+    Pt.make ~free:[ "y"; "z" ]
+      (Node ([ e "x" "y" ], [ Node ([ atom "S" [ v "x"; v "z" ] ], []) ]))
+  in
+  let db =
+    Database.of_list
+      [ Fact.make "E" [ Value.int 1; Value.int 9 ];
+        Fact.make "E" [ Value.int 2; Value.int 9 ];
+        Fact.make "S" [ Value.int 1; Value.int 4 ] ]
+  in
+  (* x = 1 gives {y↦9, z↦4}; x = 2 gives {y↦9} — both maximal homs, and the
+     projections are ⊑-comparable yet both in p(D) *)
+  let small = mapping [ ("y", 9) ] in
+  let big = mapping [ ("y", 9); ("z", 4) ] in
+  engines_agree db p (Mapping.Set.of_list [ small; big ]);
+  check_bool "small in p(D)" true (Wdpt.Eval_tractable.decision db p small);
+  check_bool "big in p(D)" true (Wdpt.Eval_tractable.decision db p big);
+  (* under maximal-mappings semantics only the extension survives *)
+  Alcotest.check mapping_set_testable "p_m(D)"
+    (Mapping.Set.singleton big)
+    (Wdpt.Semantics.eval_max db p);
+  check_bool "MAX small" false (Wdpt.Max_eval.decision db p small);
+  check_bool "MAX big" true (Wdpt.Max_eval.decision db p big)
+
+(* a variable shared between a node and a *grandchild* must pass through the
+   child (well-designedness), and bindings propagate through it *)
+let test_variable_threading () =
+  let p =
+    Pt.make ~free:[ "x"; "z" ]
+      (Node
+         ( [ atom "R" [ v "x" ] ],
+           [ Node ([ e "x" "m" ], [ Node ([ atom "S" [ v "m"; v "x"; v "z" ] ], []) ]) ] ))
+  in
+  let db =
+    Database.of_list
+      [ Fact.make "R" [ Value.int 1 ];
+        Fact.make "E" [ Value.int 1; Value.int 2 ];
+        Fact.make "S" [ Value.int 2; Value.int 1; Value.int 8 ];
+        Fact.make "S" [ Value.int 2; Value.int 99; Value.int 0 ] ]
+  in
+  engines_agree db p (Mapping.Set.singleton (mapping [ ("x", 1); ("z", 8) ]))
+
+(* non-well-designed patterns: the SPARQL algebra still works, and its result
+   differs from any maximal-homomorphism reading — kept as a documented
+   behavioural contrast *)
+let test_non_wd_algebra_contrast () =
+  let open Rdf.Sparql in
+  let t s p o = (s, p, o) in
+  let expr =
+    And
+      ( Opt
+          ( Bgp [ t (v "x") (Term.str "p") (v "y") ],
+            Bgp [ t (v "y") (Term.str "q") (v "z") ] ),
+        Bgp [ t (v "z") (Term.str "r") (v "w") ] )
+  in
+  check_bool "not wd" false (is_well_designed expr);
+  let g =
+    Rdf.Graph.of_triples
+      [ Rdf.Triple.make (Value.str "a") (Value.str "p") (Value.str "b");
+        Rdf.Triple.make (Value.str "c") (Value.str "r") (Value.str "d") ]
+  in
+  (* the unbound z of the OPT part is compatible with the AND part: one
+     solution with x y z w domains {x,y,z,w} minus the optional part *)
+  let sols = Rdf.Algebra.eval_expr g expr in
+  check_int "one solution" 1 (Mapping.Set.cardinal sols);
+  check_int "partial domain" 4 (Mapping.cardinal (Mapping.Set.choose sols))
+
+let suite =
+  [ Alcotest.test_case "deep blocking" `Quick test_deep_blocking;
+    Alcotest.test_case "branch independence" `Quick test_branch_independence;
+    Alcotest.test_case "shared-variable filtering" `Quick test_shared_var_filtering;
+    Alcotest.test_case "multiple extensions" `Quick test_multiple_extensions;
+    Alcotest.test_case "partial and extension coexist" `Quick
+      test_partial_and_extension_coexist;
+    Alcotest.test_case "variable threading" `Quick test_variable_threading;
+    Alcotest.test_case "non-well-designed algebra contrast" `Quick
+      test_non_wd_algebra_contrast ]

@@ -1,0 +1,74 @@
+(* The Optimizer facade: strategy selection and answer soundness. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module Opt = Wdpt.Optimizer
+
+let test_strategies () =
+  (* tractable as written *)
+  let chain = Workload.Gen_wdpt.chain_tree ~nodes:3 ~rel:"E" in
+  let pl = Opt.plan ~k:1 chain in
+  check_bool "chain exact" true (pl.Opt.strategy = Opt.Exact_tractable);
+  check_bool "complete" true (Opt.complete pl);
+  (* semantically tractable: foldable square *)
+  let sq =
+    Pt.of_cq (Cq.Query.boolean [ e "x" "y"; e "y" "z"; e "x" "y2"; e "y2" "z" ])
+  in
+  let pl2 = Opt.plan ~k:1 sq in
+  check_bool "square via witness" true
+    (match pl2.Opt.strategy with Opt.Via_witness _ -> true | _ -> false);
+  (* core triangle: approximation *)
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  let pl3 = Opt.plan ~k:1 tri in
+  check_bool "triangle approximated" true
+    (match pl3.Opt.strategy with Opt.Via_approximation _ -> true | _ -> false);
+  check_bool "approximation incomplete" false (Opt.complete pl3);
+  check_bool "describe says something" true (String.length (Opt.describe pl3) > 0)
+
+let test_answers_sound () =
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  let pl = Opt.plan ~k:1 tri in
+  let db = db_of_edges [ (1, 2); (2, 3); (3, 1); (4, 4) ] in
+  (* db has a triangle and a self-loop: both exact and approximate answers
+     are the empty mapping (boolean query) *)
+  let exact = Wdpt.Semantics.eval db tri in
+  let approx = Opt.eval pl db in
+  check_bool "approximate answers subsumed by exact ones" true
+    (Mapping.Set.for_all
+       (fun h -> Mapping.Set.exists (Mapping.subsumes h) exact)
+       approx);
+  (* the self-loop satisfies the TW(1)-approximation, and indeed the db has a
+     real triangle too *)
+  check_bool "true positive" true (Mapping.Set.mem Mapping.empty approx)
+
+let test_partial_decision_via_witness () =
+  let sq =
+    Pt.of_cq
+      (Cq.Query.make ~head:[ "x" ]
+         ~body:[ e "x" "y"; e "y" "z"; e "x" "y2"; e "y2" "z" ])
+  in
+  let pl = Opt.plan ~k:1 sq in
+  let db = db_of_edges [ (1, 2); (2, 3) ] in
+  check_bool "partial via witness" true
+    (Opt.partial_decision pl db (mapping [ ("x", 1) ]));
+  check_bool "negative" false (Opt.partial_decision pl db (mapping [ ("x", 3) ]))
+
+let prop_plan_partial_sound =
+  qtest ~count:60 "planned partial decisions are sound"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let pl = Opt.plan ~k:1 p in
+      let ans = Wdpt.Semantics.eval_naive db p in
+      Mapping.Set.for_all
+        (fun h ->
+          let planned = Opt.partial_decision pl db h in
+          if Opt.complete pl then planned = Wdpt.Semantics.partial_decision db p h
+          else (not planned) || Wdpt.Semantics.partial_decision db p h)
+        ans)
+
+let suite =
+  [ Alcotest.test_case "strategy selection" `Quick test_strategies;
+    Alcotest.test_case "sound approximate answers" `Quick test_answers_sound;
+    Alcotest.test_case "partial decision via witness" `Quick
+      test_partial_decision_via_witness;
+    prop_plan_partial_sound ]

@@ -1,0 +1,147 @@
+(* Pattern-tree structure: well-designedness, subtrees, transformations. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+
+let simple () =
+  Pt.make ~free:[ "x"; "z" ]
+    (Node
+       ( [ e "x" "y" ],
+         [ Node ([ e "y" "z" ], []); Node ([ e "x" "w" ], [ Node ([ e "w" "u" ], []) ]) ] ))
+
+let test_well_designed () =
+  check_bool "simple ok" true
+    (Pt.well_designed_spec
+       (Node ([ e "x" "y" ], [ Node ([ e "y" "z" ], []) ])));
+  (* y jumps over a node that does not mention it *)
+  check_bool "disconnected variable" false
+    (Pt.well_designed_spec
+       (Node ([ e "x" "y" ], [ Node ([ e "x" "x" ], [ Node ([ e "y" "z" ], []) ]) ])));
+  (* same variable in two sibling branches, absent from the root *)
+  check_bool "sibling share" false
+    (Pt.well_designed_spec
+       (Node ([ e "x" "x" ], [ Node ([ e "y" "a" ], []); Node ([ e "y" "b" ], []) ])));
+  check_bool "constructor raises" true
+    (try
+       ignore
+         (Pt.make ~free:[]
+            (Node ([ e "x" "y" ], [ Node ([ e "x" "x" ], [ Node ([ e "y" "z" ], []) ]) ])));
+       false
+     with Invalid_argument _ -> true)
+
+let test_free_validation () =
+  check_bool "unknown free var rejected" true
+    (try
+       ignore (Pt.make ~free:[ "nope" ] (Node ([ e "x" "y" ], [])));
+       false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate free rejected" true
+    (try
+       ignore (Pt.make ~free:[ "x"; "x" ] (Node ([ e "x" "y" ], [])));
+       false
+     with Invalid_argument _ -> true)
+
+let test_structure () =
+  let p = simple () in
+  check_int "nodes" 4 (Pt.node_count p);
+  check_int "size" 4 (Pt.size p);
+  check_int "root" 0 (Pt.root p);
+  check_int "root children" 2 (List.length (Pt.children p 0));
+  check_bool "projection-free detection" false (Pt.is_projection_free p);
+  check_int "vars" 5 (String_set.cardinal (Pt.vars p));
+  (* roundtrip through spec *)
+  let p2 = Pt.make ~free:(Pt.free p) (Pt.to_spec p) in
+  check_bool "spec roundtrip" true (Pt.equal_syntactic p p2)
+
+let test_subtrees () =
+  let p = simple () in
+  (* subtrees: root alone; root+left; root+right; root+right+grand;
+     root+left+right; root+left+right+grand = 6 *)
+  check_int "count" 6 (Pt.subtree_count p);
+  check_int "enumerated" 6 (List.length (List.of_seq (Pt.subtrees p)));
+  Seq.iter
+    (fun s ->
+      check_bool "contains root" true (List.mem 0 s);
+      (* closed under parents *)
+      List.iter
+        (fun i -> if i <> 0 then check_bool "parent in" true (List.mem (Pt.parent p i) s))
+        s)
+    (Pt.subtrees p)
+
+let test_subtree_queries () =
+  let p = simple () in
+  let full = Pt.all_nodes p in
+  let q = Pt.q_of_subtree p full in
+  check_int "q head = all vars" 5 (List.length (Cq.Query.head q));
+  let r = Pt.r_of_subtree p full in
+  Alcotest.(check (list string)) "r head = free vars" [ "x"; "z" ] (Cq.Query.head r);
+  let r_root = Pt.r_of_subtree p [ 0 ] in
+  Alcotest.(check (list string)) "free vars in root only" [ "x" ] (Cq.Query.head r_root)
+
+let test_minimal_maximal_subtree () =
+  let p = simple () in
+  (match Pt.minimal_subtree_for p (String_set.of_list [ "z" ]) with
+  | Some s -> Alcotest.(check (list int)) "minimal for z" [ 0; 1 ] s
+  | None -> Alcotest.fail "expected subtree");
+  (match Pt.minimal_subtree_for p (String_set.of_list [ "u" ]) with
+  | Some s -> Alcotest.(check (list int)) "minimal for u" [ 0; 2; 3 ] s
+  | None -> Alcotest.fail "expected subtree");
+  check_bool "missing var" true (Pt.minimal_subtree_for p (String_set.singleton "qq") = None);
+  (match Pt.maximal_subtree_without p (String_set.of_list [ "x" ]) with
+  | Some s ->
+      (* node 1 introduces free var z, so only root and branch 2-3 qualify *)
+      Alcotest.(check (list int)) "maximal without z" [ 0; 2; 3 ] s
+  | None -> Alcotest.fail "expected subtree")
+
+let test_transformations () =
+  let p = simple () in
+  (* quotient merging w into y is fine (both existential) *)
+  (match Pt.quotient (fun s -> if s = "w" then "y" else s) p with
+  | Some p' -> check_bool "quotient wd" true (String_set.mem "y" (Pt.node_vars p' 2))
+  | None -> Alcotest.fail "quotient should stay well-designed");
+  (* drop a leaf *)
+  let p_dropped = Pt.drop_leaf p 1 in
+  check_int "dropped" 3 (Pt.node_count p_dropped);
+  Alcotest.(check (list string)) "free var of dropped node gone" [ "x" ]
+    (Pt.free p_dropped);
+  check_bool "drop root fails" true
+    (try
+       ignore (Pt.drop_leaf p 0);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "drop internal fails" true
+    (try
+       ignore (Pt.drop_leaf p 2);
+       false
+     with Invalid_argument _ -> true);
+  (* collapse node 2 into the root *)
+  match Pt.collapse_into_parent p 2 with
+  | Some p' ->
+      check_int "collapsed nodes" 3 (Pt.node_count p');
+      check_int "atoms moved" 2 (List.length (Pt.atoms p' 0))
+  | None -> Alcotest.fail "collapse should stay well-designed"
+
+let prop_subtree_count_matches =
+  qtest ~count:100 "subtree enumeration matches count" arbitrary_wdpt (fun p ->
+      Pt.subtree_count p = Seq.length (Pt.subtrees p))
+
+let prop_minimal_subtree_minimal =
+  qtest ~count:100 "minimal subtree contains target vars" arbitrary_wdpt (fun p ->
+      let vars = Pt.free_set p in
+      if String_set.is_empty vars then true
+      else
+        match Pt.minimal_subtree_for p vars with
+        | None -> false
+        | Some s -> String_set.subset vars (Pt.vars_of_subtree p s))
+
+let suite =
+  [ Alcotest.test_case "well-designedness" `Quick test_well_designed;
+    Alcotest.test_case "free variable validation" `Quick test_free_validation;
+    Alcotest.test_case "structure accessors" `Quick test_structure;
+    Alcotest.test_case "subtree enumeration" `Quick test_subtrees;
+    Alcotest.test_case "subtree queries q/r" `Quick test_subtree_queries;
+    Alcotest.test_case "minimal/maximal subtrees" `Quick test_minimal_maximal_subtree;
+    Alcotest.test_case "quotient/drop/collapse" `Quick test_transformations;
+    prop_subtree_count_matches;
+    prop_minimal_subtree_minimal ]

@@ -1,0 +1,68 @@
+(* Theorem 4: EVAL for projection-free WDPTs under local tractability. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module Epf = Wdpt.Eval_projection_free
+
+let make_pf spec =
+  let rec vars (Pt.Node (atoms, kids)) =
+    List.fold_left
+      (fun acc a -> String_set.union acc (Atom.var_set a))
+      (List.fold_left (fun acc k -> String_set.union acc (vars k)) String_set.empty kids)
+      atoms
+  in
+  Pt.make ~free:(String_set.elements (vars spec)) spec
+
+let test_basic () =
+  let p = make_pf (Node ([ e "x" "y" ], [ Node ([ e "y" "z" ], []) ])) in
+  let db = db_of_edges [ (1, 2); (2, 3); (7, 8) ] in
+  (* full answer *)
+  check_bool "full" true
+    (Epf.decision db p (mapping [ ("x", 1); ("y", 2); ("z", 3) ]));
+  (* root-only answer: 7 -> 8 has no continuation *)
+  check_bool "root-only maximal" true (Epf.decision db p (mapping [ ("x", 7); ("y", 8) ]));
+  (* non-maximal: (1,2) extends to z = 3 *)
+  check_bool "non-maximal rejected" false
+    (Epf.decision db p (mapping [ ("x", 1); ("y", 2) ]));
+  (* wrong values *)
+  check_bool "wrong fact" false
+    (Epf.decision db p (mapping [ ("x", 1); ("y", 9) ]));
+  (* domain not matching any subtree's variable set *)
+  check_bool "odd domain" false (Epf.decision db p (mapping [ ("x", 1) ]));
+  check_bool "superfluous binding" false
+    (Epf.decision db p (mapping [ ("x", 7); ("y", 8); ("q", 1) ]))
+
+let test_rejects_projection () =
+  let p = Pt.make ~free:[ "x" ] (Node ([ e "x" "y" ], [])) in
+  check_bool "raises" true
+    (try
+       ignore (Epf.decision (db_of_edges [ (1, 2) ]) p (mapping [ ("x", 1) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let prop_agrees_with_reference =
+  qtest ~count:100 "projection-free algorithm = reference semantics"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p0, db) ->
+      (* make the random tree projection-free *)
+      let p =
+        Pt.make ~free:(String_set.elements (Pt.vars p0)) (Pt.to_spec p0)
+      in
+      let ans = Wdpt.Semantics.eval_naive db p in
+      let probes =
+        Mapping.Set.elements ans
+        @ (Mapping.Set.elements ans
+          |> List.concat_map (fun h ->
+                 List.map
+                   (fun x -> Mapping.restrict (String_set.remove x (Mapping.domain h)) h)
+                   (String_set.elements (Mapping.domain h))))
+        @ [ Mapping.empty ]
+      in
+      List.for_all
+        (fun h -> Epf.decision db p h = Mapping.Set.mem h ans)
+        probes)
+
+let suite =
+  [ Alcotest.test_case "basic decisions" `Quick test_basic;
+    Alcotest.test_case "rejects projection" `Quick test_rejects_projection;
+    prop_agrees_with_reference ]

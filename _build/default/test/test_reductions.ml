@@ -1,0 +1,43 @@
+(* Proposition 3: the 3-colorability reduction into EVAL over g-TW(1). *)
+
+open Helpers
+module R = Wdpt.Reductions
+
+let test_known_graphs () =
+  let check_graph name g expect =
+    let p, db, h = R.three_col_instance g in
+    check_bool (name ^ " direct") expect (R.three_colorable g);
+    check_bool (name ^ " naive semantics") expect (Wdpt.Semantics.decision db p h);
+    check_bool (name ^ " tractable-EVAL algorithm") expect
+      (Wdpt.Eval_tractable.decision db p h)
+  in
+  check_graph "C5 (odd cycle)" (R.cycle 5) true;
+  check_graph "C4" (R.cycle 4) true;
+  check_graph "K3" (R.complete 3) true;
+  check_graph "K4" (R.complete 4) false;
+  check_graph "single edge" { R.n = 2; edges = [ (0, 1) ] } true
+
+let test_instance_classification () =
+  let p, _, _ = R.three_col_instance (R.cycle 4) in
+  (* the reduction produces globally tractable WDPTs (g-TW(1), g-HW(1)) *)
+  check_bool "g-TW(1)" true (Wdpt.Classes.globally_in ~width:Tw ~k:1 p);
+  check_bool "g-HW(1)" true (Wdpt.Classes.globally_in ~width:Hw ~k:1 p);
+  (* yet EVAL on it decides 3-colorability: the paper's Prop 3 *)
+  check_bool "not locally bounded interface" true (Wdpt.Classes.interface p > 1)
+
+let prop_reduction_agrees =
+  qtest ~count:30 "reduction agrees with direct solver"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 2 6 in
+         let* seed = int_range 0 10000 in
+         let* prob = float_range 0.2 0.8 in
+         return (R.random_graph ~seed ~n ~edge_prob:prob)))
+    (fun g ->
+      let p, db, h = R.three_col_instance g in
+      R.three_colorable g = Wdpt.Eval_tractable.decision db p h)
+
+let suite =
+  [ Alcotest.test_case "known graphs" `Quick test_known_graphs;
+    Alcotest.test_case "instance classification" `Quick test_instance_classification;
+    prop_reduction_agrees ]

@@ -1,0 +1,132 @@
+(* Unit and property tests for the relational substrate. *)
+
+open Relational
+open Helpers
+
+let test_value_order () =
+  check_bool "int < str" true (Value.compare (Value.int 5) (Value.str "a") < 0);
+  check_bool "equal ints" true (Value.equal (Value.int 3) (Value.int 3));
+  check_bool "fresh distinct" false
+    (Value.equal (Value.fresh ()) (Value.fresh ()))
+
+let test_atom_vars () =
+  let a = atom "R" [ v "x"; c 1; v "y"; v "x" ] in
+  Alcotest.(check (list string)) "vars in order" [ "x"; "y" ] (Atom.vars a);
+  check_int "arity" 4 (Atom.arity a);
+  check_bool "not ground" false (Atom.is_ground a);
+  let g = Atom.apply ~f:(fun _ -> Term.int 0) a in
+  check_bool "ground after apply" true (Atom.is_ground g)
+
+let test_fact_roundtrip () =
+  let f = Fact.make "R" [ Value.int 1; Value.str "a" ] in
+  let a = Atom.of_fact f in
+  check_bool "roundtrip" true (Fact.equal f (Atom.to_fact a))
+
+let test_mapping_basics () =
+  let h = mapping [ ("x", 1); ("y", 2) ] in
+  let h' = mapping [ ("x", 1); ("y", 2); ("z", 3) ] in
+  check_bool "subsumes" true (Mapping.subsumes h h');
+  check_bool "not reverse" false (Mapping.subsumes h' h);
+  check_bool "strict" true (Mapping.strictly_subsumes h h');
+  check_bool "self subsumes" true (Mapping.subsumes h h);
+  check_bool "self not strict" false (Mapping.strictly_subsumes h h);
+  check_bool "compatible" true (Mapping.compatible h h');
+  check_bool "incompatible" false
+    (Mapping.compatible h (mapping [ ("x", 9) ]));
+  Alcotest.check mapping_testable "union"
+    h'
+    (Mapping.union h (mapping [ ("z", 3) ]));
+  Alcotest.check mapping_testable "restrict"
+    (mapping [ ("y", 2) ])
+    (Mapping.restrict (String_set.singleton "y") h')
+
+let test_maximal_elements () =
+  let h1 = mapping [ ("x", 1) ] in
+  let h2 = mapping [ ("x", 1); ("y", 2) ] in
+  let h3 = mapping [ ("x", 2) ] in
+  let maxes = Mapping.maximal_elements [ h1; h2; h3; h2 ] in
+  check_int "two maximal" 2 (List.length maxes);
+  check_bool "h2 maximal" true (List.exists (Mapping.equal h2) maxes);
+  check_bool "h3 maximal" true (List.exists (Mapping.equal h3) maxes);
+  check_bool "h1 dominated" false (List.exists (Mapping.equal h1) maxes)
+
+let test_matches_fact () =
+  let a = atom "R" [ v "x"; v "x"; c 3 ] in
+  let f_good = Fact.make "R" [ Value.int 7; Value.int 7; Value.int 3 ] in
+  let f_bad1 = Fact.make "R" [ Value.int 7; Value.int 8; Value.int 3 ] in
+  let f_bad2 = Fact.make "R" [ Value.int 7; Value.int 7; Value.int 4 ] in
+  check_bool "diagonal + const ok" true
+    (Option.is_some (Mapping.matches_fact Mapping.empty a f_good));
+  check_bool "diagonal violated" false
+    (Option.is_some (Mapping.matches_fact Mapping.empty a f_bad1));
+  check_bool "constant violated" false
+    (Option.is_some (Mapping.matches_fact Mapping.empty a f_bad2));
+  let init = mapping [ ("x", 9) ] in
+  check_bool "init conflicts" false
+    (Option.is_some (Mapping.matches_fact init a f_good))
+
+let test_database_indexes () =
+  let db = db_of_edges [ (1, 2); (2, 3); (1, 3) ] in
+  check_int "size" 3 (Database.size db);
+  check_int "facts_of" 3 (List.length (Database.facts_of db "E"));
+  check_int "adom" 3 (Value.Set.cardinal (Database.active_domain db));
+  (* candidates narrowed by a bound position *)
+  let a = e "s" "t" in
+  let h = mapping [ ("s", 1) ] in
+  check_int "index narrows" 2 (List.length (Database.candidates db a h));
+  check_int "matches" 2 (List.length (Database.matches db a h));
+  (* idempotent add *)
+  Database.add db (Fact.make "E" [ Value.int 1; Value.int 2 ]);
+  check_int "idempotent" 3 (Database.size db)
+
+let test_schema () =
+  let s = Schema.of_list [ ("E", 2); ("U", 1) ] in
+  check_bool "check ok" true (Result.is_ok (Schema.check_atom s (e "a" "b")));
+  check_bool "arity bad" true
+    (Result.is_error (Schema.check_atom s (atom "E" [ v "a" ])));
+  check_bool "unknown rel" true
+    (Result.is_error (Schema.check_atom s (atom "W" [ v "a" ])));
+  check_bool "infer/union" true (Schema.mem "E" (Schema.union s Schema.empty))
+
+(* properties *)
+
+let prop_subsumption_partial_order =
+  qtest "mapping subsumption is a partial order" arbitrary_db (fun db ->
+      (* derive mappings from facts *)
+      let ms =
+        List.filteri (fun i _ -> i < 5) (Database.facts db)
+        |> List.map (fun f ->
+               Mapping.of_list
+                 (List.mapi (fun i x -> ("v" ^ string_of_int i, x)) (Fact.tuple f)))
+      in
+      List.for_all
+        (fun a ->
+          Mapping.subsumes a a
+          && List.for_all
+               (fun b ->
+                 (not (Mapping.subsumes a b && Mapping.subsumes b a))
+                 || Mapping.equal a b)
+               ms)
+        ms)
+
+let prop_union_restrict =
+  qtest "restrict after union recovers operand" arbitrary_db (fun db ->
+      match Database.facts db with
+      | f1 :: f2 :: _ when Fact.rel f1 = "E" && Fact.rel f2 = "E" ->
+          let a = Mapping.of_list [ ("a", Fact.arg f1 0); ("b", Fact.arg f1 1) ] in
+          let b = Mapping.of_list [ ("c", Fact.arg f2 0); ("d", Fact.arg f2 1) ] in
+          let u = Mapping.union a b in
+          Mapping.equal a (Mapping.restrict (Mapping.domain a) u)
+      | _ -> true)
+
+let suite =
+  [ Alcotest.test_case "value order and fresh" `Quick test_value_order;
+    Alcotest.test_case "atom vars/apply/ground" `Quick test_atom_vars;
+    Alcotest.test_case "fact/atom roundtrip" `Quick test_fact_roundtrip;
+    Alcotest.test_case "mapping subsumption/union/restrict" `Quick test_mapping_basics;
+    Alcotest.test_case "maximal elements" `Quick test_maximal_elements;
+    Alcotest.test_case "matches_fact constraints" `Quick test_matches_fact;
+    Alcotest.test_case "database indexes" `Quick test_database_indexes;
+    Alcotest.test_case "schema validation" `Quick test_schema;
+    prop_subsumption_partial_order;
+    prop_union_restrict ]

@@ -1,0 +1,87 @@
+(* Semantic optimization (Section 5.1): M(WB(k)) witnesses and the FPT
+   evaluator of Corollary 2. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module So = Wdpt.Semantic_opt
+
+let foldable_square =
+  (* syntactically TW(2), semantically TW(1): core is a path *)
+  Cq.Query.boolean [ e "x" "y"; e "y" "z"; e "x" "y2"; e "y2" "z" ]
+
+let test_cq_membership () =
+  check_bool "foldable square in M(WB(1))" true
+    (So.in_m_wb_cq ~width:Tw ~k:1 (Pt.of_cq foldable_square));
+  check_bool "triangle not in M(WB(1))" false
+    (So.in_m_wb_cq ~width:Tw ~k:1 (Pt.of_cq (Workload.Gen_cq.cycle 3)));
+  check_bool "multi-node raises" true
+    (try
+       ignore
+         (So.in_m_wb_cq ~width:Tw ~k:1
+            (Pt.make ~free:[] (Node ([ e "a" "b" ], [ Node ([ e "b" "c" ], []) ]))));
+       false
+     with Invalid_argument _ -> true)
+
+let test_witness_in_class () =
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "x"; "y"; "z" ] in
+  (match So.wb_witness ~width:Tw ~k:1 p with
+  | Some w -> check_bool "in-class query is its own witness" true (Pt.equal_syntactic w p)
+  | None -> Alcotest.fail "expected witness");
+  (* single-node: exact via core *)
+  match So.wb_witness ~width:Tw ~k:1 (Pt.of_cq foldable_square) with
+  | Some w ->
+      check_bool "witness in WB(1)" true (Wdpt.Classes.in_wb ~width:Tw ~k:1 w);
+      check_bool "witness equivalent" true
+        (Wdpt.Subsumption.equivalent w (Pt.of_cq foldable_square))
+  | None -> Alcotest.fail "expected core witness"
+
+let test_witness_none_for_core_triangle () =
+  check_bool "triangle has no WB(1) witness" true
+    (So.wb_witness ~width:Tw ~k:1 (Pt.of_cq (Workload.Gen_cq.cycle 3)) = None)
+
+let test_normalized_witness () =
+  (* a dead optional branch with a triangle: the normalized tree drops it,
+     entering WB(1) *)
+  let p =
+    Pt.make ~free:[ "x" ]
+      (Node
+         ( [ e "x" "x" ],
+           [ Node ([ e "a" "b" ; e "b" "c"; e "c" "a" ], []) ] ))
+  in
+  check_bool "not in WB(1) as written" false (Wdpt.Classes.in_wb ~width:Tw ~k:1 p);
+  match So.wb_witness ~width:Tw ~k:1 p with
+  | Some w ->
+      check_bool "witness in class" true (Wdpt.Classes.in_wb ~width:Tw ~k:1 w);
+      check_bool "witness ≡ₛ p" true (Wdpt.Subsumption.equivalent w p)
+  | None -> Alcotest.fail "expected normalization witness"
+
+let test_fpt_evaluator () =
+  let p = Pt.of_cq foldable_square in
+  let fpt = So.prepare ~width:Tw ~k:1 p in
+  check_bool "witness used" true (Option.is_some (So.used_witness fpt));
+  let db = db_of_edges [ (1, 2); (2, 3) ] in
+  check_bool "partial eval via witness" true (So.partial_decision fpt db Mapping.empty);
+  check_bool "max eval via witness" true (So.max_decision fpt db Mapping.empty);
+  let db_empty = db_of_edges [ (1, 1) ] in
+  check_bool "satisfied on loop" true (So.partial_decision fpt db_empty Mapping.empty)
+
+let prop_fpt_agrees_with_general =
+  qtest ~count:40 "FPT evaluator agrees with the general algorithms"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let fpt = So.prepare ~width:Tw ~k:1 p in
+      let ans = Wdpt.Semantics.eval_naive db p in
+      Mapping.Set.for_all
+        (fun h ->
+          So.partial_decision fpt db h = Wdpt.Semantics.partial_decision db p h
+          && So.max_decision fpt db h = Wdpt.Semantics.max_decision db p h)
+        ans)
+
+let suite =
+  [ Alcotest.test_case "CQ membership via cores" `Quick test_cq_membership;
+    Alcotest.test_case "witness for in-class queries" `Quick test_witness_in_class;
+    Alcotest.test_case "no witness for core triangle" `Quick
+      test_witness_none_for_core_triangle;
+    Alcotest.test_case "witness via normalization" `Quick test_normalized_witness;
+    Alcotest.test_case "FPT evaluator (Corollary 2)" `Quick test_fpt_evaluator;
+    prop_fpt_agrees_with_general ]

@@ -1,0 +1,140 @@
+(* The SPARQL front-end: parsing, well-designedness, translation, round
+   trips, and the triple store. *)
+
+open Relational
+open Helpers
+
+let parse_ok src =
+  match Rdf.Sparql.parse src with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_basics () =
+  let q = parse_ok "SELECT ?x WHERE { ?x p ?y }" in
+  check_bool "select" true (q.Rdf.Sparql.select = Some [ "x" ]);
+  let q2 = parse_ok "SELECT * WHERE { ?x p ?y . ?y q 3 }" in
+  check_bool "star" true (q2.Rdf.Sparql.select = None);
+  check_bool "string literal" true
+    (Result.is_ok (Rdf.Sparql.parse {| SELECT * WHERE { ?x p "hello world" } |}));
+  check_bool "parse error reported" true
+    (Result.is_error (Rdf.Sparql.parse "SELECT WHERE { ?x p ?y }"));
+  check_bool "trailing garbage" true
+    (Result.is_error (Rdf.Sparql.parse "SELECT * WHERE { ?x p ?y } extra"))
+
+let test_well_designedness () =
+  let wd src expect =
+    let q = parse_ok src in
+    check_bool src expect (Rdf.Sparql.is_well_designed q.Rdf.Sparql.where)
+  in
+  wd "SELECT * WHERE { { ?x p ?y } OPT { ?x q ?z } }" true;
+  (* ?z appears in the optional part and outside, but not in the required
+     part: violates well-designedness *)
+  wd "SELECT * WHERE { { { ?x p ?y } OPT { ?x q ?z } } AND { ?z r ?w } }" false;
+  wd "SELECT * WHERE { { ?x p ?z } OPT { { ?x q ?y } OPT { ?x r ?w } } }" true
+
+let test_normal_form_preserves_semantics () =
+  (* AND over OPT is rewritten; semantics preserved on data *)
+  let src = "SELECT * WHERE { { { ?x p ?y } OPT { ?x q ?z } } AND { ?x r ?w } }" in
+  let q = parse_ok src in
+  check_bool "wd" true (Rdf.Sparql.is_well_designed q.Rdf.Sparql.where);
+  let p = Rdf.Sparql.to_pattern_tree q in
+  (* by construction the tree has the required atoms at the root *)
+  check_bool "root has both required atoms" true
+    (List.length (Wdpt.Pattern_tree.atoms p 0) = 2)
+
+let test_translation_example1 () =
+  let src =
+    {| SELECT * WHERE {
+         { ?x recorded_by ?y . ?x published after_2010 }
+         OPT { ?x NME_rating ?z }
+         OPT { ?y formed_in ?w }
+       } |}
+  in
+  let p = Rdf.Sparql.to_pattern_tree (parse_ok src) in
+  check_int "three nodes" 3 (Wdpt.Pattern_tree.node_count p);
+  check_int "two root atoms" 2 (List.length (Wdpt.Pattern_tree.atoms p 0));
+  check_bool "projection-free with *" true (Wdpt.Pattern_tree.is_projection_free p)
+
+let test_roundtrip_eval () =
+  let src =
+    {| SELECT ?a ?r WHERE { { ?a album_of ?b } OPT { ?a rating ?r } } |}
+  in
+  let p = Rdf.Sparql.to_pattern_tree (parse_ok src) in
+  let p2 = Rdf.Sparql.to_pattern_tree (Rdf.Sparql.of_pattern_tree p) in
+  let g =
+    Rdf.Graph.of_triples
+      [ Rdf.Triple.make (Value.str "a1") (Value.str "album_of") (Value.str "b1");
+        Rdf.Triple.make (Value.str "a1") (Value.str "rating") (Value.int 5);
+        Rdf.Triple.make (Value.str "a2") (Value.str "album_of") (Value.str "b1") ]
+  in
+  let db = Rdf.Graph.database g in
+  Alcotest.check mapping_set_testable "roundtrip same answers"
+    (Wdpt.Semantics.eval db p) (Wdpt.Semantics.eval db p2);
+  check_int "two answers" 2 (Mapping.Set.cardinal (Wdpt.Semantics.eval db p))
+
+let test_graph_parsing () =
+  let doc = "a p b\nc q 5 .\n# comment\n\n\"has space\" r d" in
+  match Rdf.Graph.of_string doc with
+  | Error e -> Alcotest.failf "graph parse: %s" e
+  | Ok g ->
+      check_int "three triples" 3 (Rdf.Graph.size g);
+      check_bool "int parsed" true
+        (List.exists
+           (fun (_, _, o) -> Value.equal o (Value.int 5))
+           (Rdf.Graph.triples g));
+      check_bool "bad line" true (Result.is_error (Rdf.Graph.of_string "a b"));
+      check_bool "variable rejected" true
+        (Result.is_error (Rdf.Graph.of_string "?x p b"))
+
+let test_match_pattern () =
+  let g =
+    Rdf.Graph.of_triples
+      [ Rdf.Triple.make (Value.str "s") (Value.str "p") (Value.int 1);
+        Rdf.Triple.make (Value.str "s") (Value.str "p") (Value.int 2);
+        Rdf.Triple.make (Value.str "t") (Value.str "p") (Value.int 3) ]
+  in
+  let ms = Rdf.Graph.match_pattern g (Term.str "s", Term.str "p", Term.var "o") in
+  check_int "two matches" 2 (List.length ms)
+
+let prop_translation_roundtrip =
+  qtest ~count:60 "SPARQL of_pattern_tree/to_pattern_tree round trip"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p0, db) ->
+      (* convert a random WDPT into the triple schema first *)
+      let to_triples p =
+        let rec conv i =
+          Wdpt.Pattern_tree.Node
+            ( List.map
+                (fun a ->
+                  match Atom.args a with
+                  | [ s; o ] -> Rdf.Triple.pattern_to_atom (s, Term.str (Atom.rel a), o)
+                  | [ s ] -> Rdf.Triple.pattern_to_atom (s, Term.str (Atom.rel a), s)
+                  | _ -> assert false)
+                (Wdpt.Pattern_tree.atoms p i),
+              List.map conv (Wdpt.Pattern_tree.children p i) )
+        in
+        Wdpt.Pattern_tree.make ~free:(Wdpt.Pattern_tree.free p) (conv 0)
+      in
+      let p = to_triples p0 in
+      let p' = Rdf.Sparql.to_pattern_tree (Rdf.Sparql.of_pattern_tree p) in
+      (* triple databases from the random db *)
+      let tdb =
+        Database.of_list
+          (List.filter_map
+             (fun f ->
+               match Fact.tuple f with
+               | [ a; b ] -> Some (Rdf.Triple.to_fact (Rdf.Triple.make a (Value.str (Fact.rel f)) b))
+               | [ a ] -> Some (Rdf.Triple.to_fact (Rdf.Triple.make a (Value.str (Fact.rel f)) a))
+               | _ -> None)
+             (Database.facts db))
+      in
+      Mapping.Set.equal (Wdpt.Semantics.eval tdb p) (Wdpt.Semantics.eval tdb p'))
+
+let suite =
+  [ Alcotest.test_case "parser basics" `Quick test_parse_basics;
+    Alcotest.test_case "well-designedness" `Quick test_well_designedness;
+    Alcotest.test_case "normal form" `Quick test_normal_form_preserves_semantics;
+    Alcotest.test_case "Example 1 translation" `Quick test_translation_example1;
+    Alcotest.test_case "round-trip evaluation" `Quick test_roundtrip_eval;
+    Alcotest.test_case "graph parsing" `Quick test_graph_parsing;
+    Alcotest.test_case "pattern matching" `Quick test_match_pattern;
+    prop_translation_roundtrip ]

@@ -1,0 +1,96 @@
+(* The generic pattern-tree text syntax and facts format. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module Syn = Wdpt.Syntax
+
+let parse_ok src =
+  match Syn.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_simple () =
+  let p = parse_ok "free (x) { R(?x, ?y) }" in
+  check_int "one node" 1 (Pt.node_count p);
+  Alcotest.(check (list string)) "free" [ "x" ] (Pt.free p)
+
+let test_parse_tree () =
+  let p =
+    parse_ok
+      {| free (p, q, m)
+         { knows(?p, ?q) }
+           [ { email(?p, ?m) };
+             { phone(?p, ?t), person(?p) } [ { active(?t) } ] ] |}
+  in
+  check_int "four nodes" 4 (Pt.node_count p);
+  check_int "root kids" 2 (List.length (Pt.children p 0));
+  check_int "atoms in phone node" 2 (List.length (Pt.atoms p 2))
+
+let test_parse_constants () =
+  let p = parse_ok {| free () { R(?x, 42, "hello world", bare) } |} in
+  let atom = List.hd (Pt.atoms p 0) in
+  check_int "arity" 4 (Atom.arity atom);
+  check_bool "int constant" true
+    (List.exists (Term.equal (Term.int 42)) (Atom.args atom));
+  check_bool "string constant" true
+    (List.exists (Term.equal (Term.str "hello world")) (Atom.args atom))
+
+let test_parse_errors () =
+  let bad src =
+    check_bool src true (Result.is_error (Syn.parse src))
+  in
+  bad "free (x) { R(?x ?y) }";
+  bad "free (x) { R(?x, ?y) ";
+  bad "free (zz) { R(?x) }";
+  (* not well-designed *)
+  bad "free () { R(?x, ?y) } [ { S(?x) } [ { T(?y) } ] ]";
+  bad "{ R(?x) }"
+
+let test_roundtrip () =
+  let p =
+    parse_ok
+      {| free (x, z) { R(?x, ?y) } [ { S(?y, ?z) }; { T(?x, 7) } ] |}
+  in
+  let p2 = parse_ok (Syn.to_string p) in
+  check_bool "print/parse roundtrip" true (Pt.equal_syntactic p p2)
+
+let test_facts () =
+  (match Syn.parse_fact "knows(ann, bob)" with
+  | Ok f ->
+      check_bool "fact" true
+        (Fact.equal f (Fact.make "knows" [ Value.str "ann"; Value.str "bob" ]))
+  | Error e -> Alcotest.failf "fact: %s" e);
+  check_bool "variable in fact rejected" true
+    (Result.is_error (Syn.parse_fact "knows(?x, bob)"));
+  match Syn.parse_database "R(1, 2)\n# comment\n\nS(3)" with
+  | Ok db -> check_int "two facts" 2 (Database.size db)
+  | Error e -> Alcotest.failf "db: %s" e
+
+let test_union_syntax () =
+  match Syn.parse_union "free (x) { R(?x) } UNION free (x) { S(?x, ?y) } union free () { T(1) }" with
+  | Error e -> Alcotest.failf "union parse: %s" e
+  | Ok u ->
+      check_int "three disjuncts" 3 (List.length u);
+      check_bool "single parses as union of one" true
+        (match Syn.parse_union "free (x) { R(?x) }" with
+        | Ok [ _ ] -> true
+        | _ -> false);
+      check_bool "missing UNION rejected" true
+        (Result.is_error (Syn.parse_union "free (x) { R(?x) } free (x) { S(?x) }"))
+
+let prop_pp_parse_roundtrip =
+  qtest ~count:100 "pp then parse is the identity" arbitrary_wdpt (fun p ->
+      match Syn.parse (Syn.to_string p) with
+      | Ok p2 -> Pt.equal_syntactic p p2
+      | Error _ -> false)
+
+let suite =
+  [ Alcotest.test_case "simple query" `Quick test_parse_simple;
+    Alcotest.test_case "tree structure" `Quick test_parse_tree;
+    Alcotest.test_case "constants" `Quick test_parse_constants;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "facts format" `Quick test_facts;
+    Alcotest.test_case "union syntax" `Quick test_union_syntax;
+    prop_pp_parse_roundtrip ]

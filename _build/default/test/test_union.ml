@@ -1,0 +1,106 @@
+(* Unions of WDPTs (Section 6): evaluation, phi_cq, UWB membership and
+   approximation. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module U = Wdpt.Union
+
+let test_union_eval () =
+  let p1 = Pt.of_cq (Cq.Query.make ~head:[ "x" ] ~body:[ e "x" "y" ]) in
+  let p2 = Pt.of_cq (Cq.Query.make ~head:[ "z" ] ~body:[ e "y" "z" ]) in
+  let db = db_of_edges [ (1, 2) ] in
+  let ans = U.eval db [ p1; p2 ] in
+  check_int "union of both" 2 (Mapping.Set.cardinal ans);
+  check_bool "decision 1" true (U.decision db [ p1; p2 ] (mapping [ ("x", 1) ]));
+  check_bool "decision 2" true (U.decision db [ p1; p2 ] (mapping [ ("z", 2) ]));
+  check_bool "decision no" false (U.decision db [ p1; p2 ] (mapping [ ("x", 2) ]))
+
+let test_phi_cq_example8 () =
+  (* Example 8: four CQs for the Figure-1 WDPT projected to y z z' *)
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "y"; "z"; "z'" ] in
+  let cqs = U.phi_cq [ p ] in
+  check_int "four subtree CQs" 4 (List.length cqs);
+  let heads = List.map (fun q -> List.sort compare (Cq.Query.head q)) cqs in
+  let expect = [ [ "y" ]; [ "y"; "z" ]; [ "y"; "z'" ]; [ "y"; "z"; "z'" ] ] in
+  List.iter
+    (fun h -> check_bool "expected head" true (List.mem h heads))
+    expect
+
+let prop_phi_cq_equivalent =
+  (* φ ≡ₛ φ_cq (Section 6) — validated semantically on random databases *)
+  qtest ~count:50 "phi ≡ₛ phi_cq on random dbs"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let u = [ p ] in
+      let ucq = List.map Pt.of_cq (U.phi_cq u) in
+      let max1 = U.eval_max db u in
+      let max2 = U.eval_max db ucq in
+      Mapping.Set.equal max1 max2)
+
+let test_reduce_cqs () =
+  let q1 = Cq.Query.make ~head:[ "x" ] ~body:[ e "x" "y" ] in
+  let q2 = Cq.Query.make ~head:[ "x" ] ~body:[ e "x" "y"; e "y" "z" ] in
+  let reduced = U.reduce_cqs [ q1; q2 ] in
+  check_int "contained removed" 1 (List.length reduced);
+  check_bool "kept the larger" true
+    (Cq.Containment.equivalent (List.hd reduced) q1)
+
+let test_uwb_membership () =
+  (* a union of a path (in TW(1)) and a foldable square (core is a path):
+     in M(UWB(1)) *)
+  let path = Pt.of_cq (Cq.Query.boolean [ e "x" "y"; e "y" "z" ]) in
+  let foldable =
+    Pt.of_cq (Cq.Query.boolean [ e "x" "y"; e "y" "z"; e "x" "y2"; e "y2" "z" ])
+  in
+  check_bool "in M(UWB(1))" true (U.in_m_uwb ~width:Tw ~k:1 [ path; foldable ]);
+  (* a Boolean triangle over E is contained in the Boolean path, so it is
+     pruned from φ_cq and the union stays in M(UWB(1)) *)
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  check_bool "contained triangle is pruned" true
+    (U.in_m_uwb ~width:Tw ~k:1 [ path; tri ]);
+  (* a triangle over a fresh relation is not contained in anything: breaks
+     membership *)
+  let f a b = atom "F" [ v a; v b ] in
+  let tri_f = Pt.of_cq (Cq.Query.boolean [ f "x" "y"; f "y" "z"; f "z" "x" ]) in
+  check_bool "incomparable triangle breaks membership" false
+    (U.in_m_uwb ~width:Tw ~k:1 [ path; tri_f ]);
+  (* witness *)
+  match U.uwb_witness ~width:Tw ~k:1 [ path; foldable ] with
+  | None -> Alcotest.fail "expected witness"
+  | Some w ->
+      check_bool "witness equivalent" true (U.equivalent w [ path; foldable ]);
+      List.iter
+        (fun p -> check_bool "witness in WB(1)" true (Wdpt.Classes.in_wb ~width:Tw ~k:1 p))
+        w
+
+let test_uwb_approximation () =
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  let app = U.uwb_approximation ~width:Tw ~k:1 [ tri ] in
+  check_bool "nonempty" true (app <> []);
+  check_bool "sound" true (U.subsumes app [ tri ]);
+  List.iter
+    (fun p -> check_bool "in WB(1)" true (Wdpt.Classes.in_wb ~width:Tw ~k:1 p))
+    app;
+  check_bool "recognized" true (U.is_uwb_approximation ~width:Tw ~k:1 app [ tri ])
+
+let prop_union_partial_max_consistent =
+  qtest ~count:50 "union partial/max decisions vs brute force"
+    (QCheck.triple arbitrary_small_wdpt arbitrary_small_wdpt arbitrary_db)
+    (fun (p1, p2, db) ->
+      let u = [ p1; p2 ] in
+      let ans = U.eval db u in
+      let maxes = U.eval_max db u in
+      Mapping.Set.for_all
+        (fun h ->
+          U.partial_decision db u (Mapping.restrict (Mapping.domain h) h)
+          && U.max_decision db u h = Mapping.Set.mem h maxes)
+        ans)
+
+let suite =
+  [ Alcotest.test_case "union evaluation" `Quick test_union_eval;
+    Alcotest.test_case "phi_cq (Example 8)" `Quick test_phi_cq_example8;
+    Alcotest.test_case "reduce_cqs" `Quick test_reduce_cqs;
+    Alcotest.test_case "UWB membership (Theorem 17)" `Quick test_uwb_membership;
+    Alcotest.test_case "UWB approximation (Theorem 18)" `Quick test_uwb_approximation;
+    prop_phi_cq_equivalent;
+    prop_union_partial_max_consistent ]
