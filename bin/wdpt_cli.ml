@@ -5,6 +5,7 @@
      classify    report fragment membership (Section 3 classes)
      approximate compute WB(k)-approximations (Section 5)
      check       well-designedness of a pattern
+     lint        static analysis: structured diagnostics (text or JSON)
 
    Data files contain one "subject predicate object" triple per line
    ('#' comments); see Rdf.Graph. *)
@@ -191,18 +192,55 @@ let union_cmd =
              Query syntax: pattern-tree disjuncts separated by UNION.")
     Term.(const run $ query_arg $ k_arg $ data_opt)
 
-let check_cmd =
-  let run query relational =
-    match load_tree ~relational query with
-    | Ok p ->
-        Format.printf "well-designed: true@.%a@." Wdpt.Pattern_tree.pp p;
-        exit 0
-    | Error e ->
-        Format.printf "well-designed: false (%s)@." e;
-        exit 1
+(* lint and check share the analyzer front end *)
+let lint_source ~relational query =
+  let src = if Sys.file_exists query then read_file query else query in
+  if relational then Analysis.Lint.lint_relational src
+  else Analysis.Lint.lint_sparql src
+
+let json_arg =
+  Arg.(value & flag
+       & info [ "j"; "json" ] ~doc:"Emit the diagnostics as a JSON report.")
+
+let lint_cmd =
+  let run query json relational =
+    let ds = lint_source ~relational query in
+    if json then
+      Format.printf "%a@." Analysis.Json.pp (Analysis.Diagnostic.report_json ds)
+    else if ds = [] then Format.printf "no findings@."
+    else List.iter (Format.printf "%a@." Analysis.Diagnostic.pp) ds;
+    exit (Analysis.Diagnostic.exit_code ds)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Check well-designedness and show the pattern tree.")
+    (Cmd.info "lint"
+       ~doc:"Static analysis: well-designedness witnesses, unsafe free \
+             variables, unsatisfiable nodes, redundant atoms, cartesian \
+             products, dead OPT branches, class membership. Exit code 0 = \
+             clean (hints only), 1 = warnings, 2 = errors.")
+    Term.(const run $ query_arg $ json_arg $ relational_arg)
+
+let check_cmd =
+  let run query relational =
+    let errors =
+      List.filter
+        (fun d -> d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+        (lint_source ~relational query)
+    in
+    if errors = [] then begin
+      let p = or_die (load_tree ~relational query) in
+      Format.printf "well-designed: true@.%a@." Wdpt.Pattern_tree.pp p;
+      exit 0
+    end
+    else begin
+      Format.printf "well-designed: false@.";
+      List.iter (Format.printf "%a@." Analysis.Diagnostic.pp) errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check well-designedness and show the pattern tree; failures name \
+             the violating variable and nodes (see also $(b,lint)).")
     Term.(const run $ query_arg $ relational_arg)
 
 let () =
@@ -218,4 +256,5 @@ let () =
             approximate_cmd;
             optimize_cmd;
             union_cmd;
-            check_cmd ]))
+            check_cmd;
+            lint_cmd ]))

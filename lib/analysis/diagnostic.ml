@@ -1,0 +1,175 @@
+open Relational
+module Loc = Wdpt.Loc
+
+type severity = Error | Warning | Hint
+
+type code =
+  | Parse_error
+  | Not_well_designed
+  | Unsafe_free
+  | Unsatisfiable
+  | Redundant_atom
+  | Cartesian_product
+  | Dead_branch
+  | Class_membership
+
+let code_id = function
+  | Parse_error -> "S001"
+  | Not_well_designed -> "W001"
+  | Unsafe_free -> "W002"
+  | Unsatisfiable -> "W003"
+  | Redundant_atom -> "W004"
+  | Cartesian_product -> "W005"
+  | Dead_branch -> "W006"
+  | Class_membership -> "W007"
+
+let code_name = function
+  | Parse_error -> "parse-error"
+  | Not_well_designed -> "not-well-designed"
+  | Unsafe_free -> "unsafe-free-variable"
+  | Unsatisfiable -> "unsatisfiable"
+  | Redundant_atom -> "redundant-atom"
+  | Cartesian_product -> "cartesian-product"
+  | Dead_branch -> "dead-branch"
+  | Class_membership -> "class-membership"
+
+let code_severity = function
+  | Parse_error | Not_well_designed | Unsafe_free -> Error
+  | Unsatisfiable | Redundant_atom | Cartesian_product | Dead_branch -> Warning
+  | Class_membership -> Hint
+
+type witness =
+  | Disconnected of { variable : string; top : int; stray : int; broken_at : int }
+  | Escaping of { variable : string; subpattern : string }
+  | Missing_free of string
+  | Duplicate_free of string
+  | Arity_clash of {
+      relation : string;
+      node_a : int;
+      arity_a : int;
+      node_b : int;
+      arity_b : int;
+    }
+  | Redundant of { node : int; atom : Atom.t; rule : Wdpt.Simplify.reason }
+  | Cartesian of { node : int; components : string list list }
+  | Dead of { node : int }
+  | Membership of { local_tw : int; interface : int; wb_tw : int }
+
+type fix =
+  | Apply_rewrite of Wdpt.Simplify.rewrite
+  | Remove_free of string
+
+type t = {
+  code : code;
+  severity : severity;
+  span : Loc.span option;
+  message : string;
+  witness : witness option;
+  fix : fix option;
+}
+
+let make ?span ?witness ?fix code message =
+  { code; severity = code_severity code; span; message; witness; fix }
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let exit_code ds =
+  if List.exists (fun d -> d.severity = Error) ds then 2
+  else if List.exists (fun d -> d.severity = Warning) ds then 1
+  else 0
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let pp ppf d =
+  match d.span with
+  | Some span ->
+      Format.fprintf ppf "%s %s %a: %s" (code_id d.code)
+        (severity_string d.severity) Loc.pp_span span d.message
+  | None ->
+      Format.fprintf ppf "%s %s: %s" (code_id d.code)
+        (severity_string d.severity) d.message
+
+(* ---- JSON --------------------------------------------------------------- *)
+
+let atom_string a = Format.asprintf "%a" Atom.pp a
+
+let pos_json (p : Loc.pos) = Json.Obj [ ("line", Int p.line); ("col", Int p.col) ]
+
+let span_json (s : Loc.span) =
+  Json.Obj [ ("start", pos_json s.start); ("end", pos_json s.stop) ]
+
+let rule_fields (r : Wdpt.Simplify.reason) =
+  match r with
+  | Duplicate_in_node -> [ ("rule", Json.Str "duplicate-in-node") ]
+  | Duplicate_in_ancestor i ->
+      [ ("rule", Json.Str "duplicate-in-ancestor"); ("ancestor", Int i) ]
+  | Foldable -> [ ("rule", Json.Str "foldable") ]
+
+let witness_json w =
+  let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in
+  match w with
+  | Disconnected { variable; top; stray; broken_at } ->
+      kind "disconnected-variable"
+        [ ("variable", Str variable);
+          ("nodes", List [ Int top; Int stray ]);
+          ("broken-at", Int broken_at) ]
+  | Escaping { variable; subpattern } ->
+      kind "escaping-variable"
+        [ ("variable", Str variable); ("subpattern", Str subpattern) ]
+  | Missing_free x -> kind "missing-free-variable" [ ("variable", Str x) ]
+  | Duplicate_free x -> kind "duplicate-free-variable" [ ("variable", Str x) ]
+  | Arity_clash { relation; node_a; arity_a; node_b; arity_b } ->
+      kind "arity-clash"
+        [ ("relation", Str relation);
+          ( "uses",
+            List
+              [ Obj [ ("node", Int node_a); ("arity", Int arity_a) ];
+                Obj [ ("node", Int node_b); ("arity", Int arity_b) ] ] ) ]
+  | Redundant { node; atom; rule } ->
+      kind "redundant-atom"
+        ([ ("node", Json.Int node); ("atom", Json.Str (atom_string atom)) ]
+        @ rule_fields rule)
+  | Cartesian { node; components } ->
+      kind "cartesian-product"
+        [ ("node", Int node);
+          ( "components",
+            List (List.map (fun c -> Json.List (List.map (fun v -> Json.Str v) c)) components)
+          ) ]
+  | Dead { node } -> kind "dead-branch" [ ("node", Int node) ]
+  | Membership { local_tw; interface; wb_tw } ->
+      kind "class-membership"
+        [ ("local-tw", Int local_tw); ("interface", Int interface); ("wb-tw", Int wb_tw) ]
+
+let fix_json f =
+  let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in
+  match f with
+  | Apply_rewrite (Wdpt.Simplify.Drop_atom { node; atom; _ }) ->
+      kind "drop-atom" [ ("node", Int node); ("atom", Str (atom_string atom)) ]
+  | Apply_rewrite (Wdpt.Simplify.Drop_subtree { node }) ->
+      kind "drop-subtree" [ ("node", Int node) ]
+  | Remove_free x -> kind "remove-free-variable" [ ("variable", Str x) ]
+
+let to_json d =
+  let optional name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.Obj
+    ([ ("code", Json.Str (code_id d.code));
+       ("name", Json.Str (code_name d.code));
+       ("severity", Json.Str (severity_string d.severity)) ]
+    @ optional "span" span_json d.span
+    @ [ ("message", Json.Str d.message) ]
+    @ optional "witness" witness_json d.witness
+    @ optional "fix" fix_json d.fix)
+
+let report_json ds =
+  Json.Obj
+    [ ("version", Int 1);
+      ("diagnostics", List (List.map to_json ds));
+      ( "summary",
+        Obj
+          [ ("errors", Int (count Error ds));
+            ("warnings", Int (count Warning ds));
+            ("hints", Int (count Hint ds)) ] );
+      ("exit-code", Int (exit_code ds)) ]

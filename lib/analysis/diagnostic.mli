@@ -1,0 +1,113 @@
+(** Structured findings of the static analyzer ({!Lint}).
+
+    Every diagnostic carries a stable code, a severity, an optional source
+    span (when the query came with position information), a human-readable
+    message, a machine-checkable witness, and — where one exists — a
+    suggested fix. The codes:
+
+    - [S001 parse-error] — the input does not parse (error);
+    - [W001 not-well-designed] — Definition 1 connectedness fails, or the
+      SPARQL pattern violates the Pérez-et-al. condition (error);
+    - [W002 unsafe-free-variable] — a declared free variable is missing from
+      the pattern, or declared twice (error);
+    - [W003 unsatisfiable] — a relation is used at two different arities, so
+      no database over a fixed-arity schema satisfies both uses (warning);
+    - [W004 redundant-atom] — an atom whose removal provably preserves the
+      semantics ({!Wdpt.Simplify}) (warning);
+    - [W005 cartesian-product] — a node joins groups of atoms that share no
+      variable beyond those bound by ancestor nodes (warning);
+    - [W006 dead-branch] — an OPT branch that binds no new variable and
+      therefore never extends any answer (warning);
+    - [W007 class-membership] — the least widths placing the query in the
+      paper's tractable fragments (hint). *)
+
+open Relational
+
+type severity = Error | Warning | Hint
+
+type code =
+  | Parse_error  (** S001 *)
+  | Not_well_designed  (** W001 *)
+  | Unsafe_free  (** W002 *)
+  | Unsatisfiable  (** W003 *)
+  | Redundant_atom  (** W004 *)
+  | Cartesian_product  (** W005 *)
+  | Dead_branch  (** W006 *)
+  | Class_membership  (** W007 *)
+
+(** ["W001"] *)
+val code_id : code -> string
+
+(** ["not-well-designed"] *)
+val code_name : code -> string
+
+(** The fixed severity of each code (diagnostics never deviate from it). *)
+val code_severity : code -> severity
+
+(** Machine-checkable evidence, one constructor per kind of defect. Node
+    indices refer to {!Wdpt.Pattern_tree} preorder numbering. *)
+type witness =
+  | Disconnected of {
+      variable : string;
+      top : int;  (** a mentioning node outside [stray]'s subtree *)
+      stray : int;  (** a mentioning node whose parent does not mention it *)
+      broken_at : int;
+          (** [stray]'s parent: on the path between the two, not mentioning *)
+    }
+  | Escaping of {
+      variable : string;
+      subpattern : string;  (** the [e1 OPT e2] it escapes, printed *)
+    }  (** SPARQL-level Pérez-et-al. violation *)
+  | Missing_free of string
+  | Duplicate_free of string
+  | Arity_clash of {
+      relation : string;
+      node_a : int;
+      arity_a : int;
+      node_b : int;
+      arity_b : int;
+    }
+  | Redundant of { node : int; atom : Atom.t; rule : Wdpt.Simplify.reason }
+  | Cartesian of {
+      node : int;
+      components : string list list;
+          (** per independent group: its variables not bound by ancestors *)
+    }
+  | Dead of { node : int }
+  | Membership of {
+      local_tw : int;  (** least k with p ∈ ℓ-TW(k) *)
+      interface : int;  (** least c with p ∈ BI(c) *)
+      wb_tw : int;  (** least k with p ∈ WB(k) = g-TW(k) *)
+    }
+
+type fix =
+  | Apply_rewrite of Wdpt.Simplify.rewrite
+      (** consumable by {!Wdpt.Simplify.apply} / {!Wdpt.Optimizer.plan} *)
+  | Remove_free of string  (** drop the variable from the free list *)
+
+type t = {
+  code : code;
+  severity : severity;
+  span : Wdpt.Loc.span option;
+  message : string;
+  witness : witness option;
+  fix : fix option;
+}
+
+(** [make code message] with the code's fixed severity. *)
+val make : ?span:Wdpt.Loc.span -> ?witness:witness -> ?fix:fix -> code -> string -> t
+
+(** [2] if any error, else [1] if any warning, else [0]. *)
+val exit_code : t list -> int
+
+(** [count severity ds]. *)
+val count : severity -> t list -> int
+
+(** One line: ["W001 error 1:10-1:18: variable ?x ..."]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+
+(** The full report: [{"diagnostics": [...], "summary": {...},
+    "exit-code": n}]. *)
+val report_json : t list -> Json.t

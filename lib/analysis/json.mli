@@ -1,0 +1,18 @@
+(** A minimal JSON document type and printer for the [lint --json] report.
+
+    Deliberately tiny (the toolchain has no JSON dependency): construction
+    and printing only, no parsing. Strings are escaped per RFC 8259; output
+    is deterministic (object fields print in the order given). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Pretty, indented rendering. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,393 @@
+open Relational
+module Pt = Wdpt.Pattern_tree
+module Source_map = Wdpt.Source_map
+module D = Diagnostic
+
+let atom_string a = Format.asprintf "%a" Atom.pp a
+
+(* flatten a spec exactly like Pattern_tree.flatten: preorder, root 0,
+   children after parents — Source_map indices rely on this agreement *)
+let flatten_spec spec =
+  let nodes = ref [] and parents = ref [] and count = ref 0 in
+  let rec go parent (Pt.Node (atoms, kids)) =
+    let i = !count in
+    incr count;
+    nodes := atoms :: !nodes;
+    parents := parent :: !parents;
+    List.iter (go i) kids
+  in
+  go (-1) spec;
+  (Array.of_list (List.rev !nodes), Array.of_list (List.rev !parents))
+
+let vars_of_atoms atoms =
+  List.fold_left (fun acc a -> String_set.union acc (Atom.var_set a)) String_set.empty atoms
+
+let atom_index atoms a =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when Atom.equal x a -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 atoms
+
+(* ---- W001: Definition 1 connectedness ----------------------------------- *)
+
+let w001 ~source node_atoms parents =
+  let n = Array.length node_atoms in
+  let vars_at = Array.map vars_of_atoms node_atoms in
+  let all = Array.fold_left String_set.union String_set.empty vars_at in
+  String_set.fold
+    (fun y acc ->
+      let mentions i = String_set.mem y vars_at.(i) in
+      (* local roots: mentioning nodes whose parent does not mention y; the
+         mentioning nodes form a subtree iff there is exactly one *)
+      let local_roots =
+        List.filter
+          (fun i -> mentions i && (parents.(i) < 0 || not (mentions parents.(i))))
+          (List.init n Fun.id)
+      in
+      match local_roots with
+      | top :: stray :: _ ->
+          (* top precedes stray in preorder and stray's parent exists (only
+             the root has no parent) and does not mention y: the path between
+             the two passes through it *)
+          let broken_at = parents.(stray) in
+          let message =
+            Format.sprintf
+              "variable ?%s violates Definition 1 connectedness: nodes %d and \
+               %d both mention it, but node %d on the path between them does \
+               not"
+              y top stray broken_at
+          in
+          D.make
+            ?span:(Source_map.best_span source ~node:stray ~atom:None)
+            ~witness:(D.Disconnected { variable = y; top; stray; broken_at })
+            D.Not_well_designed message
+          :: acc
+      | _ -> acc)
+    all []
+  |> List.rev
+
+(* ---- W002: free-variable list ------------------------------------------- *)
+
+let w002 ~free all_vars =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun x ->
+      let dup =
+        if Hashtbl.mem seen x then
+          [ D.make
+              ~witness:(D.Duplicate_free x)
+              D.Unsafe_free
+              (Format.sprintf "free variable ?%s is declared twice" x) ]
+        else begin
+          Hashtbl.add seen x ();
+          []
+        end
+      in
+      let missing =
+        if String_set.mem x all_vars then []
+        else
+          [ D.make
+              ~witness:(D.Missing_free x)
+              ~fix:(D.Remove_free x) D.Unsafe_free
+              (Format.sprintf
+                 "free variable ?%s does not occur in the pattern" x) ]
+      in
+      dup @ missing)
+    free
+
+(* ---- W003: arity clashes ------------------------------------------------ *)
+
+let w003 ~source node_atoms =
+  let first_use = Hashtbl.create 8 in
+  let reported = Hashtbl.create 8 in
+  let out = ref [] in
+  Array.iteri
+    (fun node atoms ->
+      List.iteri
+        (fun idx a ->
+          let rel = Atom.rel a and arity = Atom.arity a in
+          match Hashtbl.find_opt first_use rel with
+          | None -> Hashtbl.add first_use rel (node, arity)
+          | Some (node_a, arity_a) ->
+              if arity <> arity_a && not (Hashtbl.mem reported rel) then begin
+                Hashtbl.add reported rel ();
+                let message =
+                  Format.sprintf
+                    "relation %s is used with arity %d (node %d) and arity %d \
+                     (node %d): no database over a fixed-arity schema \
+                     satisfies both"
+                    rel arity_a node_a arity node
+                in
+                out :=
+                  D.make
+                    ?span:(Source_map.best_span source ~node ~atom:(Some idx))
+                    ~witness:
+                      (D.Arity_clash
+                         { relation = rel; node_a; arity_a; node_b = node;
+                           arity_b = arity })
+                    D.Unsatisfiable message
+                  :: !out
+              end)
+        atoms)
+    node_atoms;
+  List.rev !out
+
+(* ---- W005: cartesian products inside a node ----------------------------- *)
+
+(* components of a node's atoms connected through variables NOT bound by an
+   ancestor: atoms over ancestor variables only are pinned selections, not
+   cartesian factors, so only components introducing new variables count *)
+let cartesian_components ~bound atoms =
+  let atoms = Array.of_list atoms in
+  let n = Array.length atoms in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let join i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let new_vars i = String_set.diff (Atom.var_set atoms.(i)) bound in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (String_set.is_empty (String_set.inter (new_vars i) (new_vars j)))
+      then join i j
+    done
+  done;
+  let comps = Hashtbl.create 8 in
+  Array.iteri
+    (fun i _ ->
+      let nv = new_vars i in
+      if not (String_set.is_empty nv) then begin
+        let r = find i in
+        let cur =
+          Option.value ~default:String_set.empty (Hashtbl.find_opt comps r)
+        in
+        Hashtbl.replace comps r (String_set.union cur nv)
+      end)
+    atoms;
+  Hashtbl.fold (fun _ vs acc -> String_set.elements vs :: acc) comps []
+  |> List.sort compare
+
+let w005 ~source node_atoms parents =
+  let n = Array.length node_atoms in
+  let vars_at = Array.map vars_of_atoms node_atoms in
+  (* ancestors precede descendants in preorder, so one forward pass works *)
+  let bound = Array.make n String_set.empty in
+  for i = 1 to n - 1 do
+    let p = parents.(i) in
+    bound.(i) <- String_set.union bound.(p) vars_at.(p)
+  done;
+  List.concat_map
+    (fun node ->
+      let comps = cartesian_components ~bound:bound.(node) node_atoms.(node) in
+      if List.length comps < 2 then []
+      else
+        let show c = "{?" ^ String.concat ", ?" c ^ "}" in
+        let message =
+          Format.sprintf
+            "node %d joins %d independent groups of atoms (%s share no \
+             variable beyond those bound by ancestor nodes): a cartesian \
+             product"
+            node (List.length comps)
+            (String.concat " and " (List.map show comps))
+        in
+        [ D.make
+            ?span:(Source_map.best_span source ~node ~atom:None)
+            ~witness:(D.Cartesian { node; components = comps })
+            D.Cartesian_product message ])
+    (List.init n Fun.id)
+
+(* ---- tree-level checks: W004, W006, W007 -------------------------------- *)
+
+let rule_text node = function
+  | Wdpt.Simplify.Duplicate_in_node ->
+      Format.sprintf "is repeated in node %d" node
+  | Wdpt.Simplify.Duplicate_in_ancestor j ->
+      Format.sprintf "of node %d is already required by ancestor node %d" node j
+  | Wdpt.Simplify.Foldable ->
+      Format.sprintf
+        "of node %d is redundant: the node's query is equivalent without it \
+         (Chandra–Merlin)"
+        node
+
+let w004 ~source p =
+  List.map
+    (fun (node, atom, rule) ->
+      let idx = atom_index (Pt.atoms p node) atom in
+      let message =
+        Format.sprintf "atom %s %s; dropping it preserves all answers"
+          (atom_string atom) (rule_text node rule)
+      in
+      D.make
+        ?span:(Source_map.best_span source ~node ~atom:idx)
+        ~witness:(D.Redundant { node; atom; rule })
+        ~fix:(D.Apply_rewrite (Wdpt.Simplify.Drop_atom { node; atom; reason = rule }))
+        D.Redundant_atom message)
+    (Wdpt.Simplify.redundant_atoms p)
+
+let w006 ~source p =
+  List.map
+    (fun node ->
+      let message =
+        Format.sprintf
+          "node %d introduces no variable beyond its ancestors': the optional \
+           branch never extends an answer and can be dropped"
+          node
+      in
+      D.make
+        ?span:(Source_map.best_span source ~node ~atom:None)
+        ~witness:(D.Dead { node })
+        ~fix:(D.Apply_rewrite (Wdpt.Simplify.Drop_subtree { node }))
+        D.Dead_branch message)
+    (Wdpt.Simplify.dead_branches p)
+
+let cq_treewidth q = if Cq.Query.body q = [] then 0 else Cq.Query.treewidth q
+
+let w007 p =
+  let local_tw =
+    List.fold_left
+      (fun acc i -> max acc (cq_treewidth (Cq.Query.boolean (Pt.atoms p i))))
+      0
+      (List.init (Pt.node_count p) Fun.id)
+  in
+  let interface = Wdpt.Classes.interface p in
+  (* for treewidth, global membership reduces to the full-tree query
+     (Classes.globally_in), so its width is the least k for WB(k) as well *)
+  let wb_tw = cq_treewidth (Pt.q_full p) in
+  let message =
+    Format.sprintf
+      "in ℓ-TW(%d) ∩ BI(%d); least k with membership in WB(k) [g-TW] is %d"
+      local_tw interface wb_tw
+  in
+  [ D.make
+      ~witness:(D.Membership { local_tw; interface; wb_tw })
+      D.Class_membership message ]
+
+(* ---- entry points ------------------------------------------------------- *)
+
+let structural ~source ~free spec =
+  let node_atoms, parents = flatten_spec spec in
+  let all_vars = Array.fold_left (fun acc a -> String_set.union acc (vars_of_atoms a)) String_set.empty node_atoms in
+  w001 ~source node_atoms parents
+  @ w002 ~free all_vars
+  @ w003 ~source node_atoms
+  @ w005 ~source node_atoms parents
+
+let tree_level ~source p = w004 ~source p @ w006 ~source p @ w007 p
+
+let analyze_spec ?(source = Source_map.empty) ~free spec =
+  let struct_ds = structural ~source ~free spec in
+  if List.exists (fun d -> d.D.severity = D.Error) struct_ds then struct_ds
+  else
+    match Pt.make ~free spec with
+    | p -> struct_ds @ tree_level ~source p
+    | exception Invalid_argument _ ->
+        (* unreachable: the structural checks mirror [make]'s validation *)
+        struct_ds
+
+let analyze_tree ?(source = Source_map.empty) p =
+  let node_atoms, parents = flatten_spec (Pt.to_spec p) in
+  w003 ~source node_atoms
+  @ w005 ~source node_atoms parents
+  @ tree_level ~source p
+
+let lint_relational src =
+  match Wdpt.Syntax.parse_spec src with
+  | Error f ->
+      [ D.make
+          ?span:(Option.map Wdpt.Loc.at f.Wdpt.Syntax.pos)
+          D.Parse_error f.Wdpt.Syntax.message ]
+  | Ok { Wdpt.Syntax.free; spec; source } -> analyze_spec ~source ~free spec
+
+(* ---- SPARQL front end --------------------------------------------------- *)
+
+let rec triples_of_expr = function
+  | Rdf.Sparql.Bgp ps -> ps
+  | Rdf.Sparql.And (a, b) | Rdf.Sparql.Opt (a, b) ->
+      triples_of_expr a @ triples_of_expr b
+
+let pattern_mentions x (s, p, o) =
+  List.exists (fun t -> Term.as_var t = Some x) [ s; p; o ]
+
+(* reconstruct a Source_map for the translated spec from triple spans: each
+   atom of the tree is the translation of some source triple *)
+let source_map_of_spec spec spans =
+  let span_of_atom a =
+    match Rdf.Triple.atom_to_pattern a with
+    | None -> None
+    | Some pat ->
+        Option.map snd (List.find_opt (fun (p, _) -> p = pat) spans)
+  in
+  let node_atoms, _ = flatten_spec spec in
+  let zero = Wdpt.Loc.(at start_pos) in
+  let atom_spans =
+    Array.map
+      (fun atoms ->
+        Array.of_list
+          (List.map (fun a -> Option.value ~default:zero (span_of_atom a)) atoms))
+      node_atoms
+  in
+  let node_spans =
+    Array.map
+      (fun spans ->
+        if Array.length spans = 0 then zero
+        else Array.fold_left Wdpt.Loc.union spans.(0) spans)
+      atom_spans
+  in
+  Source_map.make ~node_spans ~atom_spans
+
+let lint_sparql src =
+  match Rdf.Sparql.parse_located src with
+  | Error f ->
+      [ D.make
+          ?span:(Option.map Wdpt.Loc.at f.Wdpt.Syntax.pos)
+          D.Parse_error f.Wdpt.Syntax.message ]
+  | Ok (q, spans) ->
+      let surface =
+        match Rdf.Sparql.well_designed_witness q.Rdf.Sparql.where with
+        | None -> []
+        | Some (x, sub) ->
+            let span =
+              let inner =
+                match sub with Rdf.Sparql.Opt (_, b) -> b | e -> e
+              in
+              match
+                List.find_opt (pattern_mentions x) (triples_of_expr inner)
+              with
+              | Some pat -> Option.map snd (List.find_opt (fun (p, _) -> p = pat) spans)
+              | None -> None
+            in
+            let message =
+              Format.sprintf
+                "variable ?%s occurs in an optional part and outside the \
+                 enclosing OPT, but not in its mandatory part: the pattern is \
+                 not well-designed (Pérez et al.)"
+                x
+            in
+            [ D.make ?span
+                ~witness:
+                  (D.Escaping
+                     { variable = x;
+                       subpattern = Format.asprintf "%a" Rdf.Sparql.pp_expr sub })
+                D.Not_well_designed message ]
+      in
+      let free, spec = Rdf.Sparql.to_spec q in
+      let source = source_map_of_spec spec spans in
+      surface @ analyze_spec ~source ~free spec
+
+let apply_fix p d =
+  match d.D.fix with
+  | Some (D.Apply_rewrite r) -> Wdpt.Simplify.apply p r
+  | Some (D.Remove_free x) -> (
+      let free = List.filter (fun y -> not (String.equal x y)) (Pt.free p) in
+      match Pt.make ~free (Pt.to_spec p) with
+      | p' -> Some p'
+      | exception Invalid_argument _ -> None)
+  | None -> None

@@ -1,0 +1,41 @@
+(** The static analyzer: checks a parsed pattern (or SPARQL query) and
+    produces structured {!Diagnostic}s.
+
+    The analyzers work on raw tree descriptions ({!Wdpt.Pattern_tree.spec}),
+    so ill-formed queries — not well-designed, bad free-variable lists — are
+    diagnosed with witnesses instead of being rejected at construction time.
+    When the description does build into a {!Wdpt.Pattern_tree.t}, the
+    semantic checks (redundant atoms, dead branches, class membership) run
+    as well, reusing {!Wdpt.Simplify} and the width machinery of
+    {!Wdpt.Classes} / {!Cq.Query}. *)
+
+(** [analyze_spec ?source ~free spec]: all applicable checks. [source] maps
+    node/atom indices to spans ({!Wdpt.Syntax.parse_spec} provides one);
+    diagnostics carry no spans without it. Structural checks (W001–W003,
+    W005) always run; tree-level checks (W004, W006, W007) run when [spec]
+    with [free] builds into a valid tree. *)
+val analyze_spec :
+  ?source:Wdpt.Source_map.t ->
+  free:string list ->
+  Wdpt.Pattern_tree.spec ->
+  Diagnostic.t list
+
+(** [analyze_tree ?source p]: the checks on an already-built (hence
+    well-designed) tree: W003–W007. *)
+val analyze_tree : ?source:Wdpt.Source_map.t -> Wdpt.Pattern_tree.t -> Diagnostic.t list
+
+(** Lint a query in the relational pattern-tree syntax
+    ({!Wdpt.Syntax.parse_spec}). A parse failure yields a single [S001]. *)
+val lint_relational : string -> Diagnostic.t list
+
+(** Lint an {AND,OPT}-SPARQL query ({!Rdf.Sparql}). Reports the
+    Pérez-et-al. well-designedness violation (W001 with an
+    escaping-variable witness) in addition to the tree-level checks on the
+    translated description; triple-pattern spans feed diagnostic spans. *)
+val lint_sparql : string -> Diagnostic.t list
+
+(** Apply a diagnostic's suggested fix to a tree: rewrite fixes go through
+    {!Wdpt.Simplify.apply} (evaluation-preserving), free-variable fixes
+    rebuild the tree without the variable. [None] if the diagnostic carries
+    no fix or it no longer applies. *)
+val apply_fix : Wdpt.Pattern_tree.t -> Diagnostic.t -> Wdpt.Pattern_tree.t option

@@ -25,21 +25,31 @@ let rec vars_of_expr = function
         String_set.empty ps
   | And (a, b) | Opt (a, b) -> String_set.union (vars_of_expr a) (vars_of_expr b)
 
-let is_well_designed e =
+let well_designed_witness e =
+  let first a b = match a with Some _ -> a | None -> b () in
   let rec check e outside =
     match e with
-    | Bgp _ -> true
+    | Bgp _ -> None
     | And (a, b) ->
-        check a (String_set.union outside (vars_of_expr b))
-        && check b (String_set.union outside (vars_of_expr a))
+        first
+          (check a (String_set.union outside (vars_of_expr b)))
+          (fun () -> check b (String_set.union outside (vars_of_expr a)))
     | Opt (a, b) ->
-        String_set.subset
-          (String_set.inter (vars_of_expr b) outside)
-          (vars_of_expr a)
-        && check a (String_set.union outside (vars_of_expr b))
-        && check b (String_set.union outside (vars_of_expr a))
+        let escaping =
+          String_set.diff
+            (String_set.inter (vars_of_expr b) outside)
+            (vars_of_expr a)
+        in
+        (match String_set.choose_opt escaping with
+        | Some x -> Some (x, e)
+        | None ->
+            first
+              (check a (String_set.union outside (vars_of_expr b)))
+              (fun () -> check b (String_set.union outside (vars_of_expr a))))
   in
   check e String_set.empty
+
+let is_well_designed e = Option.is_none (well_designed_witness e)
 
 let rec normal_form = function
   | Bgp _ as b -> b
@@ -54,9 +64,9 @@ let rec normal_form = function
           ignore (na, nb);
           assert false)
 
-let to_pattern_tree { select; where } =
-  if not (is_well_designed where) then
-    invalid_arg "Sparql.to_pattern_tree: pattern is not well-designed";
+let to_spec { select; where } =
+  (* purely structural: sound as a translation only for well-designed
+     patterns, but usable by the analyzer to locate defects in any pattern *)
   let rec build e : Wdpt.Pattern_tree.spec =
     match e with
     | Bgp ps -> Node (List.map Triple.pattern_to_atom ps, [])
@@ -71,6 +81,12 @@ let to_pattern_tree { select; where } =
     | None -> String_set.elements (vars_of_expr where)
     | Some vs -> vs
   in
+  (free, spec)
+
+let to_pattern_tree q =
+  if not (is_well_designed q.where) then
+    invalid_arg "Sparql.to_pattern_tree: pattern is not well-designed";
+  let free, spec = to_spec q in
   Wdpt.Pattern_tree.make ~free spec
 
 let of_pattern_tree p =
@@ -107,26 +123,43 @@ type token =
   | STRING of string
   | INT of int
 
+module Loc = Wdpt.Loc
+
+(* advance a position over src.[p.offset .. j-1] *)
+let advance_to src p j =
+  let q = ref p in
+  for k = p.Loc.offset to j - 1 do
+    q := Loc.advance !q src.[k]
+  done;
+  !q
+
 let tokenize src =
   let n = String.length src in
-  let rec go i acc =
-    if i >= n then Ok (List.rev acc)
+  let fail message p = Error { Wdpt.Syntax.message; pos = Some p } in
+  let rec go p acc =
+    let i = p.Loc.offset in
+    if i >= n then Ok (List.rev acc, p)
     else
-      match src.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
-      | '{' -> go (i + 1) (LBRACE :: acc)
-      | '}' -> go (i + 1) (RBRACE :: acc)
-      | '.' -> go (i + 1) (DOT :: acc)
-      | '*' -> go (i + 1) (STAR :: acc)
+      let c = src.[i] in
+      let single tok =
+        let q = Loc.advance p c in
+        go q ((tok, Loc.make_span p q) :: acc)
+      in
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> go (Loc.advance p c) acc
+      | '{' -> single LBRACE
+      | '}' -> single RBRACE
+      | '.' -> single DOT
+      | '*' -> single STAR
       | '"' ->
           let rec close j =
-            if j >= n then Error "unterminated string literal"
-            else if src.[j] = '"' then Ok j
+            if j >= n then fail "unterminated string literal" p
+            else if src.[j] = '"' then
+              let q = advance_to src p (j + 1) in
+              go q ((STRING (String.sub src (i + 1) (j - i - 1)), Loc.make_span p q) :: acc)
             else close (j + 1)
           in
-          (match close (i + 1) with
-          | Error e -> Error e
-          | Ok j -> go (j + 1) (STRING (String.sub src (i + 1) (j - i - 1)) :: acc))
+          close (i + 1)
       | '?' ->
           let rec word j =
             if j < n
@@ -137,8 +170,10 @@ let tokenize src =
             else j
           in
           let j = word (i + 1) in
-          if j = i + 1 then Error "empty variable name"
-          else go j (VAR (String.sub src (i + 1) (j - i - 1)) :: acc)
+          if j = i + 1 then fail "empty variable name" p
+          else
+            let q = advance_to src p j in
+            go q ((VAR (String.sub src (i + 1) (j - i - 1)), Loc.make_span p q) :: acc)
       | _ ->
           let rec word j =
             if j < n
@@ -162,23 +197,28 @@ let tokenize src =
                 | Some k -> INT k
                 | None -> WORD w)
           in
-          go j (tok :: acc)
+          let q = advance_to src p j in
+          go q ((tok, Loc.make_span p q) :: acc)
   in
-  go 0 []
+  go Loc.start_pos []
 
-exception Parse_error of string
+exception Parse_error of Wdpt.Syntax.parse_failure
 
-let parse src =
+let parse_located src =
   match tokenize src with
   | Error e -> Error e
-  | Ok toks -> (
-      let toks = ref toks in
-      let peek () = match !toks with t :: _ -> Some t | [] -> None in
+  | Ok (tokens, eof) -> (
+      let toks = ref tokens in
+      let spans = ref [] in
+      let peek () = match !toks with (t, _) :: _ -> Some t | [] -> None in
+      let here () = match !toks with (_, s) :: _ -> s.Loc.start | [] -> eof in
+      let here_span () = match !toks with (_, s) :: _ -> s | [] -> Loc.at eof in
       let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+      let fail message = raise (Parse_error { message; pos = Some (here ()) }) in
       let expect t name =
         match peek () with
         | Some t' when t' = t -> advance ()
-        | _ -> raise (Parse_error ("expected " ^ name))
+        | _ -> fail ("expected " ^ name)
       in
       let term () =
         match peek () with
@@ -194,13 +234,17 @@ let parse src =
         | Some (INT k) ->
             advance ();
             Term.int k
-        | _ -> raise (Parse_error "expected a term")
+        | _ -> fail "expected a term"
       in
       let triple () =
+        let start = here_span () in
         let s = term () in
         let p = term () in
+        let stop = here_span () in
         let o = term () in
-        (s, p, o)
+        let pat = (s, p, o) in
+        spans := (pat, Loc.union start stop) :: !spans;
+        pat
       in
       (* pattern := primary (('OPT'|'AND'|'.') primary)*  left-assoc *)
       let rec primary () =
@@ -208,10 +252,10 @@ let parse src =
         | Some LBRACE ->
             advance ();
             let e = pattern () in
-            expect RBRACE "}";
+            expect RBRACE "'}'";
             e
         | Some (VAR _ | WORD _ | STRING _ | INT _) -> Bgp [ triple () ]
-        | _ -> raise (Parse_error "expected a group or a triple")
+        | _ -> fail "expected a group or a triple"
       and pattern () =
         let rec loop acc =
           match peek () with
@@ -247,16 +291,21 @@ let parse src =
                 | _ -> List.rev acc
               in
               let vs = vars [] in
-              if vs = [] then raise (Parse_error "expected variables or * after SELECT");
+              if vs = [] then fail "expected variables or * after SELECT";
               Some vs
         in
         expect WHERE "WHERE";
         let where = pattern () in
         (match peek () with
         | None -> ()
-        | Some _ -> raise (Parse_error "trailing tokens"));
-        Ok { select; where }
+        | Some _ -> fail "trailing tokens");
+        Ok ({ select; where }, List.rev !spans)
       with Parse_error e -> Error e)
+
+let parse src =
+  match parse_located src with
+  | Ok (q, _) -> Ok q
+  | Error e -> Error (Wdpt.Syntax.describe_failure e)
 
 let parse_and_translate src =
   match parse src with

@@ -32,10 +32,21 @@ val vars_of_expr : expr -> Relational.String_set.t
     [e1]. *)
 val is_well_designed : expr -> bool
 
+(** A witness of non-well-designedness: the escaping variable and the
+    [e1 OPT e2] subpattern it escapes from (the variable occurs in [e2] and
+    outside the subpattern but not in [e1]). [None] iff well-designed. *)
+val well_designed_witness : expr -> (string * expr) option
+
 (** OPT normal form: no OPT below an AND. Assumes well-designedness (the
     rewriting [(P1 OPT P2) AND P3 ≡ (P1 AND P3) OPT P2] is only sound
     then). *)
 val normal_form : expr -> expr
+
+(** Structural translation to a tree description (free variables, spec),
+    without the well-designedness check: the OPT-normal-form rewriting is
+    only a semantics-preserving translation for well-designed patterns, but
+    the analyzer uses this to locate defects in arbitrary ones. *)
+val to_spec : query -> string list * Wdpt.Pattern_tree.spec
 
 (** Translation to a WDPT over the {!Triple.relation} schema.
     @raise Invalid_argument if the expression is not well-designed. *)
@@ -45,8 +56,16 @@ val to_pattern_tree : query -> Wdpt.Pattern_tree.t
     @raise Invalid_argument on non-triple atoms. *)
 val of_pattern_tree : Wdpt.Pattern_tree.t -> query
 
-(** Parse the concrete syntax. *)
+(** Parse the concrete syntax; errors report line and column. *)
 val parse : string -> (query, string) result
+
+(** Like {!parse}, but also returns the source span of every triple pattern
+    (keyed structurally — repeated identical triples share their first
+    occurrence's span), and a structured failure. Feeds diagnostic spans in
+    [Analysis.Lint]. *)
+val parse_located :
+  string ->
+  (query * (Triple.pattern * Wdpt.Loc.span) list, Wdpt.Syntax.parse_failure) result
 
 (** [parse_and_translate s] — convenience composition. *)
 val parse_and_translate : string -> (Wdpt.Pattern_tree.t, string) result

@@ -1,0 +1,32 @@
+type pos = {
+  line : int;
+  col : int;
+  offset : int;
+}
+
+type span = {
+  start : pos;
+  stop : pos;
+}
+
+let start_pos = { line = 1; col = 1; offset = 0 }
+
+let advance p = function
+  | '\n' -> { line = p.line + 1; col = 1; offset = p.offset + 1 }
+  | _ -> { p with col = p.col + 1; offset = p.offset + 1 }
+
+let at p = { start = p; stop = p }
+let make_span start stop = { start; stop }
+
+let union a b =
+  let min_pos p q = if p.offset <= q.offset then p else q in
+  let max_pos p q = if p.offset >= q.offset then p else q in
+  { start = min_pos a.start b.start; stop = max_pos a.stop b.stop }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+let pp_span ppf s =
+  if s.stop.offset <= s.start.offset then pp_pos ppf s.start
+  else Format.fprintf ppf "%a-%a" pp_pos s.start pp_pos s.stop
+
+let describe_pos p = Printf.sprintf "line %d, col %d" p.line p.col

@@ -1,0 +1,38 @@
+(** Source positions and spans for the concrete query syntaxes.
+
+    Positions are 1-based in lines and columns (the convention of compiler
+    diagnostics); [offset] is the 0-based byte offset into the source. A
+    [span] covers the half-open byte range [\[start.offset, stop.offset)]. *)
+
+type pos = {
+  line : int;
+  col : int;
+  offset : int;
+}
+
+type span = {
+  start : pos;
+  stop : pos;
+}
+
+val start_pos : pos
+
+(** [advance p c] moves past character [c] (newlines reset the column). *)
+val advance : pos -> char -> pos
+
+(** A zero-width span at a position. *)
+val at : pos -> span
+
+val make_span : pos -> pos -> span
+
+(** [union a b] is the smallest span covering both. *)
+val union : span -> span -> span
+
+(** ["3:14"] *)
+val pp_pos : Format.formatter -> pos -> unit
+
+(** ["3:14-3:20"], or ["3:14"] for zero-width spans. *)
+val pp_span : Format.formatter -> span -> unit
+
+(** ["line 3, col 14"] — the phrasing used in parse errors. *)
+val describe_pos : pos -> string

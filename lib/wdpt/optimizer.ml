@@ -8,27 +8,42 @@ type strategy =
 
 type plan = {
   query : Pattern_tree.t;
+  source : Pattern_tree.t;
+  rewrites : Simplify.rewrite list;
   k : int;
   bounded_interface : int;
   strategy : strategy;
 }
 
 let plan ~k p =
-  let c = Classes.interface p in
+  (* consume the static analyzer's rewrite opportunities first: dropping
+     redundant atoms and dead branches preserves p(D) and can only lower the
+     widths the strategy selection below depends on *)
+  let q, rewrites = Simplify.simplify p in
+  let c = Classes.interface q in
   let strategy =
-    if Classes.locally_in ~width:Tw ~k p || Classes.in_wb ~width:Tw ~k p then
+    if Classes.locally_in ~width:Tw ~k q || Classes.in_wb ~width:Tw ~k q then
       Exact_tractable
     else
-      match Semantic_opt.wb_witness ~width:Tw ~k p with
+      match Semantic_opt.wb_witness ~width:Tw ~k q with
       | Some w -> Via_witness w
       | None -> (
-          match Approximation.wb_approximations ~width:Tw ~k p with
+          match Approximation.wb_approximations ~width:Tw ~k q with
           | [] -> Exact_exponential
           | apps -> Via_approximation apps)
   in
-  { query = p; k; bounded_interface = c; strategy }
+  { query = q; source = p; rewrites; k; bounded_interface = c; strategy }
 
 let describe pl =
+  let prefix =
+    match pl.rewrites with
+    | [] -> ""
+    | rs ->
+        Printf.sprintf "simplified (%s); "
+          (String.concat "; " (List.map Simplify.describe_rewrite rs))
+  in
+  prefix
+  ^
   match pl.strategy with
   | Exact_tractable ->
       Printf.sprintf

@@ -24,12 +24,19 @@ type strategy =
 
 type plan = private {
   query : Pattern_tree.t;
+      (** the simplified query the strategy applies to *)
+  source : Pattern_tree.t;  (** the query as given *)
+  rewrites : Simplify.rewrite list;
+      (** semantics-preserving rewrites applied ({!Simplify}): the analyzer's
+          redundant-atom / dead-branch findings, consumed as optimizations *)
   k : int;
   bounded_interface : int;
   strategy : strategy;
 }
 
-(** [plan ~k p] classifies [p] and picks a strategy. *)
+(** [plan ~k p] first applies {!Simplify.simplify} (evaluation-preserving, so
+    all answers below are still those of [p]), then classifies the result and
+    picks a strategy. *)
 val plan : k:int -> Pattern_tree.t -> plan
 
 val describe : plan -> string

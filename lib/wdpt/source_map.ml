@@ -1,0 +1,24 @@
+type t = {
+  node_spans : Loc.span array;
+  atom_spans : Loc.span array array;
+}
+
+let empty = { node_spans = [||]; atom_spans = [||] }
+let make ~node_spans ~atom_spans = { node_spans; atom_spans }
+
+let node_span t i =
+  if i >= 0 && i < Array.length t.node_spans then Some t.node_spans.(i) else None
+
+let atom_span t ~node ~atom =
+  if node >= 0 && node < Array.length t.atom_spans
+     && atom >= 0 && atom < Array.length t.atom_spans.(node)
+  then Some t.atom_spans.(node).(atom)
+  else None
+
+let best_span t ~node ~atom =
+  match atom with
+  | Some a -> (
+      match atom_span t ~node ~atom:a with
+      | Some s -> Some s
+      | None -> node_span t node)
+  | None -> node_span t node

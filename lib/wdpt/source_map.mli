@@ -1,0 +1,23 @@
+(** Side table mapping the nodes and atoms of a parsed pattern tree back to
+    spans in the source text.
+
+    Node indices follow {!Pattern_tree}'s preorder numbering (root 0, children
+    after parents in syntactic order), so a map built while parsing stays
+    valid for the {!Pattern_tree.t} built from the same spec. Atom [j] of
+    node [i] is the [j]-th atom of that node's atom list. *)
+
+type t
+
+val empty : t
+
+(** [make ~node_spans ~atom_spans]: [node_spans.(i)] covers node [i]'s atom
+    block; [atom_spans.(i).(j)] covers its [j]-th atom. *)
+val make : node_spans:Loc.span array -> atom_spans:Loc.span array array -> t
+
+(** [None] when the map has no entry for the node (e.g. {!empty}). *)
+val node_span : t -> int -> Loc.span option
+
+val atom_span : t -> node:int -> atom:int -> Loc.span option
+
+(** Span of the atom, falling back to the node, falling back to [None]. *)
+val best_span : t -> node:int -> atom:int option -> Loc.span option

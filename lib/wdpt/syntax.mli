@@ -11,9 +11,38 @@
     [?ident] is a variable, integers and quoted strings are constants, and a
     bare identifier in argument position is a string constant. Facts files
     contain one ground atom per line, e.g. [knows(ann, bob)]; ['#'] starts a
-    comment. *)
+    comment.
+
+    Parse errors carry source positions ([line 3, col 14: expected '}']); the
+    lower-level {!parse_spec} additionally returns a {!Source_map.t} so
+    static analysis ({!Analysis.Lint}) can point diagnostics at real spans,
+    and returns the raw tree description so that non-well-designed input can
+    still be analyzed. *)
 
 open Relational
+
+(** A parse failure: a message and the position it refers to ([None] only
+    when the input ended unexpectedly and no position is meaningful). *)
+type parse_failure = {
+  message : string;
+  pos : Loc.pos option;
+}
+
+(** ["line 3, col 14: expected '}'"] *)
+val describe_failure : parse_failure -> string
+
+(** Result of parsing one pattern: the free-variable list and tree
+    description (not yet checked for well-designedness), plus the source
+    spans of every node and atom. *)
+type parsed = {
+  free : string list;
+  spec : Pattern_tree.spec;
+  source : Source_map.t;
+}
+
+(** Parse without building the tree — no well-designedness or free-variable
+    validation, so ill-formed queries can be diagnosed by the analyzer. *)
+val parse_spec : string -> (parsed, parse_failure) result
 
 val parse : string -> (Pattern_tree.t, string) result
 
@@ -24,7 +53,8 @@ val parse_union : string -> (Union.t, string) result
 (** Parse one ground atom, e.g. [R(1, "x", foo)]. *)
 val parse_fact : string -> (Fact.t, string) result
 
-(** Parse a facts document (one fact per line). *)
+(** Parse a facts document (one fact per line); errors report the line and
+    column of the offending token. *)
 val parse_database : string -> (Database.t, string) result
 
 (** [to_string p] prints in the parseable syntax. *)

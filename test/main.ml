@@ -16,6 +16,7 @@ let () =
       ("union", Test_union.suite);
       ("reductions", Test_reductions.suite);
       ("sparql", Test_sparql.suite);
+      ("analysis", Test_analysis.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("opt-semantics", Test_opt_semantics.suite);
       ("paper-claims", Test_paper_claims.suite) ]

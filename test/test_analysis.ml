@@ -1,0 +1,266 @@
+(* The static analyzer: every diagnostic code, spans, witnesses, fixes. *)
+
+open Relational
+open Helpers
+module Pt = Wdpt.Pattern_tree
+module D = Analysis.Diagnostic
+module Lint = Analysis.Lint
+
+let codes ds = List.map (fun d -> D.code_id d.D.code) ds
+let has code ds = List.mem code (codes ds)
+let find code ds = List.find (fun d -> D.code_id d.D.code = code) ds
+
+let test_parse_error () =
+  (* S001 from both front ends, with a position *)
+  let ds = Lint.lint_relational "free (x) { R(?x" in
+  check_bool "S001" true (has "S001" ds);
+  let d = find "S001" ds in
+  check_bool "error severity" true (d.D.severity = D.Error);
+  check_bool "has span" true (d.D.span <> None);
+  check_int "exit 2" 2 (D.exit_code ds);
+  let ds = Lint.lint_sparql "SELECT ?x WHERE { ?x p }" in
+  check_bool "sparql S001" true (has "S001" ds);
+  (* satellite: Syntax.parse errors carry line and column *)
+  (match Wdpt.Syntax.parse "free (x)\n  { R(?x }" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      check_bool "names line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2"));
+  match Wdpt.Syntax.parse_database "E(1, 2)\nE(3 4)" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      check_bool "db error names line 2" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 2")
+
+let disconnected_spec =
+  (* ?y lives in the two sibling branches but not in the root *)
+  Pt.Node
+    ( [ atom "R" [ v "x" ] ],
+      [ Node ([ atom "S" [ v "x"; v "y" ] ], []);
+        Node ([ atom "T" [ v "y" ] ], []) ] )
+
+let test_not_well_designed () =
+  let ds = Lint.analyze_spec ~free:[ "x" ] disconnected_spec in
+  let d = find "W001" ds in
+  check_bool "error severity" true (d.D.severity = D.Error);
+  (match d.D.witness with
+  | Some (D.Disconnected { variable; top; stray; broken_at }) ->
+      check_bool "names ?y" true (variable = "y");
+      check_int "top node" 1 top;
+      check_int "stray node" 2 stray;
+      check_int "broken at the root" 0 broken_at;
+      (* the witness is machine-checkable: both nodes mention the variable,
+         the breaking node does not *)
+      let mentions i =
+        let node_atoms, _parents =
+          ( [| [ atom "R" [ v "x" ] ];
+               [ atom "S" [ v "x"; v "y" ] ];
+               [ atom "T" [ v "y" ] ] |],
+            [| -1; 0; 0 |] )
+        in
+        List.exists (fun a -> String_set.mem variable (Atom.var_set a)) node_atoms.(i)
+      in
+      check_bool "top mentions" true (mentions top);
+      check_bool "stray mentions" true (mentions stray);
+      check_bool "broken_at does not" false (mentions broken_at)
+  | _ -> Alcotest.fail "expected a Disconnected witness");
+  check_int "exit 2" 2 (D.exit_code ds);
+  (* the message names the variable and both nodes, per the CLI contract *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "message names ?y" true (contains d.D.message "?y");
+  check_bool "message names node 1" true (contains d.D.message "1");
+  check_bool "message names node 2" true (contains d.D.message "2")
+
+let test_unsafe_free () =
+  let spec = Pt.Node ([ e "x" "y" ], []) in
+  let ds = Lint.analyze_spec ~free:[ "x"; "z" ] spec in
+  let d = find "W002" ds in
+  check_bool "missing witness" true (d.D.witness = Some (D.Missing_free "z"));
+  check_bool "suggests removal" true (d.D.fix = Some (D.Remove_free "z"));
+  let ds = Lint.analyze_spec ~free:[ "x"; "x" ] spec in
+  check_bool "duplicate" true
+    ((find "W002" ds).D.witness = Some (D.Duplicate_free "x"))
+
+let test_unsatisfiable () =
+  let spec =
+    Pt.Node
+      ( [ atom "R" [ v "x" ] ],
+        [ Node ([ atom "R" [ v "x"; v "y" ] ], []) ] )
+  in
+  let ds = Lint.analyze_spec ~free:[ "x" ] spec in
+  match (find "W003" ds).D.witness with
+  | Some (D.Arity_clash { relation; node_a; arity_a; node_b; arity_b }) ->
+      check_bool "relation R" true (relation = "R");
+      check_int "first node" 0 node_a;
+      check_int "first arity" 1 arity_a;
+      check_int "second node" 1 node_b;
+      check_int "second arity" 2 arity_b
+  | _ -> Alcotest.fail "expected an Arity_clash witness"
+
+let test_redundant_atom () =
+  (* duplicated within the node, and inherited from an ancestor *)
+  let p =
+    Pt.make ~free:[ "x" ]
+      (Node ([ e "x" "y"; e "x" "y" ], [ Node ([ e "x" "y"; e "y" "z" ], []) ]))
+  in
+  let ds = Lint.analyze_tree p in
+  let red = List.filter (fun d -> D.code_id d.D.code = "W004") ds in
+  check_bool "two redundant atoms" true (List.length red >= 2);
+  List.iter
+    (fun d ->
+      match Lint.apply_fix p d with
+      | Some p' -> check_int "one atom fewer" (Pt.size p - 1) (Pt.size p')
+      | None -> Alcotest.fail "fix should apply")
+    red
+
+let test_cartesian () =
+  let ds =
+    Lint.analyze_spec ~free:[ "x" ]
+      (Pt.Node ([ e "x" "y"; atom "U" [ v "z" ] ], []))
+  in
+  (match (find "W005" ds).D.witness with
+  | Some (D.Cartesian { node = 0; components = [ a; b ] }) ->
+      check_bool "components {x,y} and {z}" true
+        (List.sort compare [ a; b ] = [ [ "x"; "y" ]; [ "z" ] ])
+  | _ -> Alcotest.fail "expected a Cartesian witness");
+  (* atoms linked through a parent-bound variable only are still independent,
+     but a genuinely shared new variable joins them *)
+  let joined =
+    Lint.analyze_spec ~free:[ "x" ]
+      (Pt.Node ([ e "x" "y"; e "y" "z" ], []))
+  in
+  check_bool "chain is not cartesian" false (has "W005" joined)
+
+let test_dead_branch () =
+  let p =
+    Pt.make ~free:[ "x" ]
+      (Node ([ e "x" "y" ], [ Node ([ e "y" "x" ], []) ]))
+  in
+  let ds = Lint.analyze_tree p in
+  let d = find "W006" ds in
+  check_bool "witness" true (d.D.witness = Some (D.Dead { node = 1 }));
+  match Lint.apply_fix p d with
+  | Some p' -> check_int "branch gone" 1 (Pt.node_count p')
+  | None -> Alcotest.fail "fix should apply"
+
+let test_class_membership () =
+  (* the Figure 1 query is in WB(1), and the hint must say so *)
+  let p = Workload.Datasets.figure1_wdpt ~free:[ "y"; "z" ] in
+  let ds = Lint.analyze_tree p in
+  (match (find "W007" ds).D.witness with
+  | Some (D.Membership { local_tw; interface; wb_tw }) ->
+      check_int "least WB k" 1 wb_tw;
+      check_int "least local k" 1 local_tw;
+      check_bool "interface" true (interface >= 1)
+  | _ -> Alcotest.fail "expected a Membership witness");
+  check_int "figure 1 is clean" 0 (D.exit_code ds);
+  (* a triangle needs width 2 *)
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  match (find "W007" (Lint.analyze_tree tri)).D.witness with
+  | Some (D.Membership { wb_tw; _ }) -> check_int "triangle WB k" 2 wb_tw
+  | _ -> Alcotest.fail "expected a Membership witness"
+
+let test_spans () =
+  (*      1         2         3
+    123456789012345678901234567890123456789 *)
+  let src = "free (x) { R(?x) } [ { S(?x, ?y) }; { T(?y) } ]" in
+  let ds = Lint.lint_relational src in
+  let d = find "W001" ds in
+  match d.D.span with
+  | Some { start; stop } ->
+      (* the span covers the stray node's block "{ T(?y) }" *)
+      check_int "start line" 1 start.Wdpt.Loc.line;
+      check_bool "covers the stray node" true
+        (start.Wdpt.Loc.col >= 37 && stop.Wdpt.Loc.col <= 48)
+  | None -> Alcotest.fail "expected a span"
+
+let test_sparql_surface () =
+  let ds =
+    Lint.lint_sparql "SELECT * WHERE { { ?x p ?y OPT { ?x q ?z } } . ?z r ?w }"
+  in
+  let d = find "W001" ds in
+  match d.D.witness with
+  | Some (D.Escaping { variable; subpattern }) ->
+      check_bool "names ?z" true (variable = "z");
+      check_bool "prints the OPT subpattern" true
+        (String.length subpattern > 0)
+  | _ -> Alcotest.fail "expected an Escaping witness"
+
+let test_json () =
+  let ds = Lint.analyze_spec ~free:[ "x" ] disconnected_spec in
+  let s = Analysis.Json.to_string (D.report_json ds) in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "names the code" true (contains "\"W001\"");
+  check_bool "names the variable" true (contains "\"variable\": \"y\"");
+  check_bool "names the nodes" true (contains "\"nodes\": [1,2]");
+  check_bool "carries the exit code" true (contains "\"exit-code\": 2");
+  (* escaping *)
+  let escaped = Analysis.Json.(to_string (Str "a\"b\\c\nd")) in
+  check_bool "escapes" true (escaped = "\"a\\\"b\\\\c\\nd\"")
+
+let test_optimizer_consumes_fixes () =
+  (* the optimizer applies exactly the analyzer's rewrite fixes *)
+  let p =
+    Pt.make ~free:[ "x" ]
+      (Node ([ e "x" "y"; e "x" "y" ], [ Node ([ e "y" "x" ], []) ]))
+  in
+  let pl = Wdpt.Optimizer.plan ~k:1 p in
+  check_bool "plan simplified" true (pl.Wdpt.Optimizer.rewrites <> []);
+  let fixed =
+    List.fold_left
+      (fun q d -> match Lint.apply_fix q d with Some q' -> q' | None -> q)
+      p
+      (List.filter
+         (fun d -> match d.D.fix with Some (D.Apply_rewrite _) -> true | _ -> false)
+         (Lint.analyze_tree p))
+  in
+  check_bool "fixes reach the plan's query" true
+    (Pt.size fixed <= Pt.size p && Pt.node_count fixed <= Pt.node_count p)
+
+(* generated trees are well-designed by construction: the analyzer must not
+   report any error-severity diagnostic on them *)
+let prop_wd_trees_clean =
+  qtest ~count:100 "well-designed trees trigger no error" arbitrary_wdpt
+    (fun p ->
+      List.for_all (fun d -> d.D.severity <> D.Error) (Lint.analyze_tree p))
+
+(* suggested rewrite fixes preserve the evaluation on random databases *)
+let prop_fixes_preserve_eval =
+  qtest ~count:60 "applying suggested fixes preserves evaluation"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let reference = Wdpt.Semantics.eval db p in
+      List.for_all
+        (fun d ->
+          match d.D.fix with
+          | Some (D.Apply_rewrite _) -> (
+              match Lint.apply_fix p d with
+              | Some p' -> Mapping.Set.equal reference (Wdpt.Semantics.eval db p')
+              | None -> false)
+          | _ -> true)
+        (Lint.analyze_tree p))
+
+let suite =
+  [ Alcotest.test_case "S001 parse errors carry positions" `Quick test_parse_error;
+    Alcotest.test_case "W001 connectedness witness" `Quick test_not_well_designed;
+    Alcotest.test_case "W002 unsafe free variables" `Quick test_unsafe_free;
+    Alcotest.test_case "W003 arity clash" `Quick test_unsatisfiable;
+    Alcotest.test_case "W004 redundant atoms" `Quick test_redundant_atom;
+    Alcotest.test_case "W005 cartesian products" `Quick test_cartesian;
+    Alcotest.test_case "W006 dead branches" `Quick test_dead_branch;
+    Alcotest.test_case "W007 class membership (Figure 1)" `Quick
+      test_class_membership;
+    Alcotest.test_case "diagnostics point at source spans" `Quick test_spans;
+    Alcotest.test_case "SPARQL-level witness" `Quick test_sparql_surface;
+    Alcotest.test_case "JSON report" `Quick test_json;
+    Alcotest.test_case "optimizer consumes the fixes" `Quick
+      test_optimizer_consumes_fixes;
+    prop_wd_trees_clean;
+    prop_fixes_preserve_eval ]

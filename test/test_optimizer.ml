@@ -11,13 +11,26 @@ let test_strategies () =
   let pl = Opt.plan ~k:1 chain in
   check_bool "chain exact" true (pl.Opt.strategy = Opt.Exact_tractable);
   check_bool "complete" true (Opt.complete pl);
-  (* semantically tractable: foldable square *)
+  (* semantically tractable: the foldable square is simplified to its core
+     (a path) by the analyzer's redundant-atom rewrites, so it is now exact *)
   let sq =
     Pt.of_cq (Cq.Query.boolean [ e "x" "y"; e "y" "z"; e "x" "y2"; e "y2" "z" ])
   in
   let pl2 = Opt.plan ~k:1 sq in
-  check_bool "square via witness" true
-    (match pl2.Opt.strategy with Opt.Via_witness _ -> true | _ -> false);
+  check_bool "square simplified" true (pl2.Opt.rewrites <> []);
+  check_bool "square exact after simplification" true
+    (pl2.Opt.strategy = Opt.Exact_tractable);
+  (* Via_witness still fires where simplification cannot help: a triangle in
+     an OPT branch binds new (non-free) variables, so only the ≡ₛ-witness
+     search (Lemma 1 normalization) can drop it *)
+  let gated =
+    Pt.make ~free:[ "x" ]
+      (Node ([ e "x" "x" ], [ Node ([ e "a" "b"; e "b" "c"; e "c" "a" ], []) ]))
+  in
+  let pl_w = Opt.plan ~k:1 gated in
+  check_bool "no syntactic rewrite for gated triangle" true (pl_w.Opt.rewrites = []);
+  check_bool "gated triangle via witness" true
+    (match pl_w.Opt.strategy with Opt.Via_witness _ -> true | _ -> false);
   (* core triangle: approximation *)
   let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
   let pl3 = Opt.plan ~k:1 tri in
