@@ -14,6 +14,62 @@
 
 open Relational
 
+(* ---- CLI / recording -------------------------------------------------- *)
+
+let json_out : string option ref = ref None
+let smoke = ref false
+let only : string option ref = ref (Sys.getenv_opt "WDPT_BENCH_ONLY")
+
+(* (experiment id, point label, median seconds), in run order *)
+let records : (string * string * float) list ref = ref []
+let record exp_id label seconds = records := (exp_id, label, seconds) :: !records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  let groups =
+    (* stable grouping by experiment id, preserving first-seen order *)
+    List.fold_left
+      (fun acc (exp_id, label, t) ->
+        match List.assoc_opt exp_id acc with
+        | Some cell ->
+            cell := (label, t) :: !cell;
+            acc
+        | None -> acc @ [ (exp_id, ref [ (label, t) ]) ])
+      []
+      (List.rev !records)
+  in
+  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 2,\n  \"experiments\": {\n";
+  let n_groups = List.length groups in
+  List.iteri
+    (fun gi (exp_id, cell) ->
+      Printf.fprintf oc "    \"%s\": [\n" (json_escape exp_id);
+      let points = List.rev !cell in
+      let n = List.length points in
+      List.iteri
+        (fun i (label, t) ->
+          Printf.fprintf oc "      {\"label\": \"%s\", \"median_ms\": %.6f}%s\n"
+            (json_escape label) (t *. 1000.)
+            (if i = n - 1 then "" else ","))
+        points;
+      Printf.fprintf oc "    ]%s\n" (if gi = n_groups - 1 then "" else ","))
+    groups;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Format.printf "wrote %d timings to %s@." (List.length !records) path
+
 let time_once f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -90,8 +146,9 @@ let t1_eval_tractable () =
         let t = time_it (fun () -> ignore (Wdpt.Eval_tractable.decision db p h)) in
         print_row "  %8d  %12.2f  %10b@." size (t *. 1000.)
           (Wdpt.Eval_tractable.decision db p h);
+        record "T1-EVAL-a" (string_of_int size) t;
         (size, t))
-      [ 200; 400; 800; 1600; 3200 ]
+      (if !smoke then [ 200; 400 ] else [ 200; 400; 800; 1600; 3200 ])
   in
   print_row "  fitted growth exponent in |D|: %.2f  (paper: polynomial; expect << 3)@."
     (loglog_slope points)
@@ -126,6 +183,7 @@ let t1_eval_hard () =
       print_row "  %4d  %6d  %14.2f  %16.2f  %16.2f@." g.Wdpt.Reductions.n
         (List.length g.Wdpt.Reductions.edges)
         (t_eval *. 1000.) (t_part *. 1000.) (t_max *. 1000.);
+      record "T1-EVAL-b" (Printf.sprintf "n=%d" g.Wdpt.Reductions.n) t_eval;
       points := (g.Wdpt.Reductions.n, t_eval) :: !points)
     [ 2; 4; 6; 8 ];
   print_row
@@ -157,6 +215,7 @@ let t1_projection_free () =
         in
         let t = time_it (fun () -> ignore (Wdpt.Eval_projection_free.decision db p h)) in
         print_row "  %8d  %12.3f@." size (t *. 1000.);
+        record "T1-PF" (string_of_int size) t;
         (size, t))
       [ 200; 400; 800; 1600; 3200 ]
   in
@@ -201,6 +260,7 @@ let t1_hw_vs_tw () =
         if n > 6 then nan
         else time_it (fun () -> ignore (Cq.Decomp_eval.satisfiable ~td db q ~init:Mapping.empty))
       in
+      record "T1-HW" (Printf.sprintf "yannakakis n=%d" n) t_y;
       print_row "  %4d  %6d  %16.2f  %18.2f@." n
         (Cq.Query.treewidth q) (t_y *. 1000.) (t_td *. 1000.))
     [ 3; 4; 5; 6; 7 ];
@@ -228,6 +288,8 @@ let t1_partial_max () =
       let t_p = time_it (fun () -> ignore (Wdpt.Partial_eval.decision db p h_part)) in
       let t_m = time_it (fun () -> ignore (Wdpt.Max_eval.decision db p h)) in
       print_row "  %8d  %14.2f  %14.2f@." size (t_p *. 1000.) (t_m *. 1000.);
+      record "T1-PEVAL" (string_of_int size) t_p;
+      record "T1-MEVAL" (string_of_int size) t_m;
       pp_points := (size, t_p) :: !pp_points;
       mm_points := (size, t_m) :: !mm_points)
     [ 200; 400; 800; 1600; 3200 ];
@@ -412,6 +474,112 @@ let prop2 () =
     [ 2; 4; 8; 16 ]
 
 (* ---------------------------------------------------------------- *)
+(* ENGINE: compiled engine vs the naive Eval path, before/after       *)
+(* ---------------------------------------------------------------- *)
+
+let engine_speedup () =
+  section "ENGINE"
+    "Compiled engine vs naive backtracking (Table-1-shaped primitives, answers cross-checked)";
+  Format.printf
+    "naive = Cq.Eval.Naive (string-keyed maps, rebuilt candidate lists);@.";
+  Format.printf
+    "engine = interned values, slot environments, counted indexes.@.";
+  Format.printf
+    "enum = enumerate all homomorphisms in native form; sat = per-node@.";
+  Format.printf
+    "satisfiability sweep (EVAL inner loop); proj = projected answers.@.";
+  print_row "  %-10s  %8s  %-6s  %12s  %12s  %9s  %7s@." "query" "|D|" "prim"
+    "naive(ms)" "engine(ms)" "speedup" "agree";
+  let queries =
+    [ ("chain3", Workload.Gen_cq.chain 3);
+      ("chain4", Workload.Gen_cq.chain 4);
+      ("star3", Workload.Gen_cq.star 3) ]
+  in
+  let sizes = if !smoke then [ 200; 800 ] else [ 800; 1600; 3200 ] in
+  let largest = List.fold_left max 0 sizes in
+  let worst = ref infinity in
+  List.iter
+    (fun (name, q) ->
+      List.iter
+        (fun size ->
+          let db =
+            Workload.Gen_db.random_graph_db ~seed:11 ~nodes:(size / 4) ~edges:size
+          in
+          let body = Cq.Query.body q in
+          let x0 = List.hd (Cq.Query.head q) in
+          let adom = Value.Set.elements (Database.active_domain db) in
+          let proj_q = Cq.Query.make ~head:[ x0 ] ~body in
+          (* untimed correctness gate: full answer sets must be identical *)
+          if
+            not
+              (Mapping.Set.equal (Cq.Eval.answers db q)
+                 (Cq.Eval.Naive.answers db q))
+          then failwith ("ENGINE: answer mismatch on " ^ name);
+          let row prim t_naive t_engine agree =
+            if not agree then
+              failwith ("ENGINE: " ^ prim ^ " mismatch on " ^ name);
+            let speedup = t_naive /. t_engine in
+            if size = largest then worst := Float.min !worst speedup;
+            record "ENGINE"
+              (Printf.sprintf "%s n=%d %s naive" name size prim)
+              t_naive;
+            record "ENGINE"
+              (Printf.sprintf "%s n=%d %s engine" name size prim)
+              t_engine;
+            print_row "  %-10s  %8d  %-6s  %12.2f  %12.2f  %8.1fx  %7b@." name
+              size prim (t_naive *. 1000.) (t_engine *. 1000.) speedup agree
+          in
+          (* enum: every homomorphism, each side in its native form —
+             slot environments vs string-keyed maps *)
+          let n_e = ref 0 and n_n = ref 0 in
+          let t_engine =
+            time_it (fun () ->
+                n_e := 0;
+                let p = Engine.compile db body ~init:Mapping.empty in
+                Engine.iter_envs p (fun _ -> incr n_e))
+          in
+          let t_naive =
+            time_it (fun () ->
+                n_n := 0;
+                Cq.Eval.Naive.iter_homomorphisms db body ~init:Mapping.empty
+                  (fun _ -> incr n_n))
+          in
+          row "enum" t_naive t_engine (!n_e = !n_n);
+          (* sat: satisfiability with a sink variable (last variable of the
+             last atom) bound to each active-domain value — the per-binding
+             decision loop of the Table-1 EVAL experiments, where binding a
+             leaf/end variable forces a real backward search per call *)
+          let sink =
+            List.nth body (List.length body - 1)
+            |> Atom.vars |> List.rev |> List.hd
+          in
+          let sat eval =
+            List.fold_left
+              (fun acc v ->
+                if eval db body ~init:(Mapping.singleton sink v) then acc + 1
+                else acc)
+              0 adom
+          in
+          let s_e = ref 0 and s_n = ref 0 in
+          let t_engine = time_it (fun () -> s_e := sat Cq.Eval.satisfiable) in
+          let t_naive =
+            time_it (fun () -> s_n := sat Cq.Eval.Naive.satisfiable)
+          in
+          row "sat" t_naive t_engine (!s_e = !s_n);
+          (* proj: distinct answers projected onto one head variable *)
+          let p_e = ref Mapping.Set.empty and p_n = ref Mapping.Set.empty in
+          let t_engine = time_it (fun () -> p_e := Cq.Eval.answers db proj_q) in
+          let t_naive =
+            time_it (fun () -> p_n := Cq.Eval.Naive.answers db proj_q)
+          in
+          row "proj" t_naive t_engine (Mapping.Set.equal !p_e !p_n))
+        sizes)
+    queries;
+  print_row
+    "  worst primitive speedup at largest |D|: %.1fx  (acceptance: >= 3x with identical answers)@."
+    !worst
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure          *)
 (* ---------------------------------------------------------------- *)
 
@@ -467,10 +635,23 @@ let bechamel_suite () =
         results)
     tests
 
+let usage = "bench [--json OUT] [--smoke] [--only ID]"
+
 let () =
+  let args =
+    [ ("--json", Arg.String (fun s -> json_out := Some s),
+       "OUT  write per-experiment median timings as JSON");
+      ("--smoke", Arg.Set smoke,
+       "  quick subset (t1a + engine, reduced sizes) for CI");
+      ("--only", Arg.String (fun s -> only := Some s),
+       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine bechamel)") ]
+  in
+  Arg.parse args (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
   Format.printf "WDPT reproduction benchmarks (Barceló & Pichler, PODS 2015)@.";
-  let only = Sys.getenv_opt "WDPT_BENCH_ONLY" in
-  let want name = match only with None -> true | Some s -> s = name in
+  let want name =
+    if !smoke then name = "t1a" || name = "engine"
+    else match !only with None -> true | Some s -> s = name
+  in
   if want "t1a" then t1_eval_tractable ();
   if want "t1b" then t1_eval_hard ();
   if want "t1pf" then t1_projection_free ();
@@ -482,5 +663,9 @@ let () =
   if want "fig2" then fig2 ();
   if want "cor2" then cor2_fpt ();
   if want "prop2" then prop2 ();
+  if want "engine" then engine_speedup ();
   if want "bechamel" then bechamel_suite ();
+  (match !json_out with
+  | Some path -> write_json path
+  | None -> ());
   Format.printf "@.done.@."

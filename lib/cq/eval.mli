@@ -1,7 +1,30 @@
 (** Backtracking evaluation of arbitrary CQs (worst-case exponential; this is
-    the "general" evaluator the tractable algorithms are compared against). *)
+    the "general" evaluator the tractable algorithms are compared against).
+
+    The entry points below run on the compiled engine ({!Engine}): values and
+    variables interned to dense ints, a flat slot environment, candidate
+    ranking from stored index counts. {!Naive} is the original direct
+    implementation, kept as the oracle for agreement testing and the
+    before/after benchmark. *)
 
 open Relational
+
+(** The pre-engine reference evaluator: [Map]-based environments, candidate
+    lists rebuilt at every backtracking node. Semantically equivalent to the
+    toplevel entry points (a qcheck property enforces this). *)
+module Naive : sig
+  val iter_homomorphisms :
+    Database.t -> Atom.t list -> init:Mapping.t -> (Mapping.t -> unit) -> unit
+
+  val homomorphisms :
+    Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t list
+
+  val first_homomorphism :
+    Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t option
+
+  val satisfiable : Database.t -> Atom.t list -> init:Mapping.t -> bool
+  val answers : Database.t -> Query.t -> Mapping.Set.t
+end
 
 (** [iter_homomorphisms db atoms ~init f] calls [f] on every extension of
     [init] that maps every atom into [db]. Atoms are matched in a dynamically

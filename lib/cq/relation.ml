@@ -19,13 +19,17 @@ let cardinal r = Mapping.Set.cardinal r.rows
 let is_empty r = Mapping.Set.is_empty r.rows
 let unit = { vars = String_set.empty; rows = Mapping.Set.singleton Mapping.empty }
 
+(* Hash keys for joins: the sorted bindings of the restriction to [key].
+   Canonical (Map.bindings is ordered) and structurally hashable, unlike the
+   balanced trees themselves — and far cheaper than the pretty-printed
+   strings used previously. *)
+let restrict_key key row = Mapping.bindings (Mapping.restrict key row)
+
 (* index rows by their restriction to [key] *)
 let index key r =
   let tbl = Hashtbl.create (max 16 (Mapping.Set.cardinal r.rows)) in
   Mapping.Set.iter
-    (fun row ->
-      let k = Format.asprintf "%a" Mapping.pp (Mapping.restrict key row) in
-      Hashtbl.add tbl k row)
+    (fun row -> Hashtbl.add tbl (restrict_key key row) row)
     r.rows;
   tbl
 
@@ -36,10 +40,9 @@ let join r s =
   let out = ref Mapping.Set.empty in
   Mapping.Set.iter
     (fun row ->
-      let k = Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row) in
       List.iter
         (fun row' -> out := Mapping.Set.add (Mapping.union row row') !out)
-        (Hashtbl.find_all idx k))
+        (Hashtbl.find_all idx (restrict_key shared row)))
     large.rows;
   { vars = String_set.union r.vars s.vars; rows = !out }
 
@@ -47,17 +50,12 @@ let semijoin r s =
   let shared = String_set.inter r.vars s.vars in
   let keys = Hashtbl.create 64 in
   Mapping.Set.iter
-    (fun row ->
-      Hashtbl.replace keys
-        (Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row))
-        ())
+    (fun row -> Hashtbl.replace keys (restrict_key shared row) ())
     s.rows;
   { r with
     rows =
       Mapping.Set.filter
-        (fun row ->
-          Hashtbl.mem keys
-            (Format.asprintf "%a" Mapping.pp (Mapping.restrict shared row)))
+        (fun row -> Hashtbl.mem keys (restrict_key shared row))
         r.rows }
 
 let project vars r =

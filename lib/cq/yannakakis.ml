@@ -1,8 +1,14 @@
 open Relational
 module Gyo = Hypergraphs.Gyo
+module Rel = Engine.Rel
+
+(* The join forest is evaluated over interned relations (Engine.Rel): rows
+   are dense-int tuples, semijoins and joins are hash-based on projected key
+   tuples. Mapping.t values appear only in the final conversion of the
+   combined answer relation. *)
 
 type node = {
-  mutable rel : Relation.t;
+  mutable rel : Rel.t;
   mutable children : int list;
   mutable is_root : bool;
 }
@@ -12,7 +18,7 @@ type prepared =
   | Ground_failure
   | Ready of Query.t * node array
 
-(* Build per-atom relations and the join-forest structure. *)
+(* Build per-atom interned relations and the join-forest structure. *)
 let prepare db q ~init =
   let q = Query.substitute init q in
   let ground, atoms = List.partition Atom.is_ground (Query.body q) in
@@ -27,12 +33,7 @@ let prepare db q ~init =
           Array.of_list
             (List.map
                (fun a ->
-                 let rows = Database.matches db a Mapping.empty in
-                 { rel =
-                     Relation.make (Atom.var_set a)
-                       (List.map (Mapping.restrict (Atom.var_set a)) rows);
-                   children = [];
-                   is_root = false })
+                 { rel = Rel.of_atom db a; children = []; is_root = false })
                atoms)
         in
         List.iter
@@ -47,7 +48,7 @@ let rec up_pass nodes i =
   List.iter
     (fun c ->
       up_pass nodes c;
-      nodes.(i).rel <- Relation.semijoin nodes.(i).rel nodes.(c).rel)
+      nodes.(i).rel <- Rel.semijoin nodes.(i).rel nodes.(c).rel)
     nodes.(i).children
 
 let roots_of nodes =
@@ -62,7 +63,7 @@ let satisfiable db q ~init =
   | Ready (_, nodes) ->
       let roots = roots_of nodes in
       List.iter (fun r -> up_pass nodes r) roots;
-      Some (List.for_all (fun r -> not (Relation.is_empty nodes.(r).rel)) roots)
+      Some (List.for_all (fun r -> not (Rel.is_empty nodes.(r).rel)) roots)
 
 let answers db q =
   match prepare db q ~init:Mapping.empty with
@@ -72,29 +73,29 @@ let answers db q =
       let head = Query.head_set q' in
       let roots = roots_of nodes in
       List.iter (fun r -> up_pass nodes r) roots;
-      if List.exists (fun r -> Relation.is_empty nodes.(r).rel) roots then
+      if List.exists (fun r -> Rel.is_empty nodes.(r).rel) roots then
         Some Mapping.Set.empty
       else begin
         (* full reducer: downward semijoins *)
         let rec down i =
           List.iter
             (fun c ->
-              nodes.(c).rel <- Relation.semijoin nodes.(c).rel nodes.(i).rel;
+              nodes.(c).rel <- Rel.semijoin nodes.(c).rel nodes.(i).rel;
               down c)
             nodes.(i).children
         in
         List.iter down roots;
         (* upward joins projecting onto atom vars ∪ head *)
         let rec up i =
-          let keep = String_set.union (Relation.vars nodes.(i).rel) head in
+          let keep = String_set.union (Rel.var_set nodes.(i).rel) head in
           List.fold_left
-            (fun acc c -> Relation.project keep (Relation.join acc (up c)))
+            (fun acc c -> Rel.project keep (Rel.join acc (up c)))
             nodes.(i).rel nodes.(i).children
         in
         let combined =
           List.fold_left
-            (fun acc r -> Relation.join acc (Relation.project head (up r)))
-            Relation.unit roots
+            (fun acc r -> Rel.join acc (Rel.project head (up r)))
+            Rel.unit roots
         in
-        Some (Mapping.Set.of_list (Relation.rows combined))
+        Some (Mapping.Set.of_list (Rel.to_mappings db combined))
       end

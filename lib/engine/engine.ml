@@ -1,0 +1,658 @@
+(* Compiled evaluation engine.
+
+   The backtracking evaluator in Cq.Eval used to run directly over the
+   string-keyed representation: Map.Make(String) environments, candidate fact
+   lists rebuilt for every remaining atom at every node, and selectivity
+   ranking by List.compare_lengths over the rebuilt lists. This module
+   compiles the query once instead — values interned to dense ints, facts as
+   immutable int-array tuples, variables as slots of a flat int-array
+   environment, atoms as per-position check/slot instructions — and then runs
+   a tight matching loop that allocates nothing on the happy path. Candidate
+   ranking reads stored counts from the compiled (rel, pos, value) index, so
+   the dynamic fewest-candidates atom order of the old evaluator is preserved
+   at O(arity) per remaining atom instead of a list materialization.
+
+   Mappings cross the boundary exactly twice: once at compile time (init and
+   constants are interned) and once per reported solution (slots are read
+   back into a Mapping.t). Everything in between is int-on-int. *)
+
+open Relational
+
+(* ------------------------------------------------------------------ *)
+(* Compiled databases                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Db = struct
+  (* rows of each counted cell are frozen to an array after construction *)
+  type cell = {
+    mutable count : int;
+    mutable acc : int list;      (* construction-time accumulator *)
+    mutable rows : int array;    (* indices into [tuples] *)
+  }
+
+  type rel = {
+    arity : int;
+    tuples : Tuple.t array;
+    index : (int, cell) Hashtbl.t array;  (* per position: value id -> cell *)
+  }
+
+  (* compiled plan cores are cached here keyed by atom list; the payload
+     type is defined after the plan types below, hence the extensible
+     variant (same trick as Database.cache) *)
+  type plan_store = ..
+  type plan_store += No_plans
+
+  type t = {
+    pool : Value.t Interner.t;
+    rels : (string * int, rel) Hashtbl.t;  (* keyed by (name, arity) *)
+    db_version : int;
+    mutable plans : plan_store;
+  }
+
+  let find_rel c name arity = Hashtbl.find_opt c.rels (name, arity)
+
+  let build db =
+    let pool = Interner.create ~capacity:256 () in
+    let buckets : (string * int, Fact.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        List.iter
+          (fun f ->
+            let key = (name, Fact.arity f) in
+            match Hashtbl.find_opt buckets key with
+            | Some cell -> cell := f :: !cell
+            | None -> Hashtbl.add buckets key (ref [ f ]))
+          (Database.facts_of db name))
+      (Database.relations db);
+    let rels = Hashtbl.create (Hashtbl.length buckets) in
+    Hashtbl.iter
+      (fun (name, arity) bucket ->
+        let tuples =
+          Array.of_list
+            (List.map
+               (fun f ->
+                 Array.init arity (fun i -> Interner.intern pool (Fact.arg f i)))
+               !bucket)
+        in
+        let index =
+          Array.init arity (fun _ ->
+              Hashtbl.create (max 16 (Array.length tuples)))
+        in
+        Array.iteri
+          (fun row t ->
+            Array.iteri
+              (fun pos v ->
+                match Hashtbl.find_opt index.(pos) v with
+                | Some cell ->
+                    cell.count <- cell.count + 1;
+                    cell.acc <- row :: cell.acc
+                | None ->
+                    Hashtbl.add index.(pos) v
+                      { count = 1; acc = [ row ]; rows = [||] })
+              t)
+          tuples;
+        (* freeze accumulators into arrays for cache-friendly scans *)
+        Array.iter
+          (fun tbl ->
+            Hashtbl.iter
+              (fun _ cell ->
+                cell.rows <- Array.of_list (List.rev cell.acc);
+                cell.acc <- [])
+              tbl)
+          index;
+        Hashtbl.add rels (name, arity) { arity; tuples; index })
+      buckets;
+    { pool; rels; db_version = Database.version db; plans = No_plans }
+
+  type Database.cache += Compiled of t
+
+  (* Compiling is linear in the database and cached on the database itself
+     (invalidated by Database.add), so repeated queries against the same
+     database — the shape of every evaluation loop in lib/wdpt — pay for
+     interning once. *)
+  let of_database db =
+    match Database.get_cache db with
+    | Some (Compiled c) when c.db_version = Database.version db -> c
+    | _ ->
+        let c = build db in
+        Database.set_cache db (Compiled c);
+        c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Plans: one compiled instruction sequence per atom                    *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Check of int  (* argument must equal this interned constant *)
+  | Slot of int   (* argument reads/writes this environment slot *)
+
+type atom_plan = {
+  a_rel : Db.rel;
+  a_ops : op array;
+}
+
+(* the init-independent part of a plan, cached on the compiled database
+   keyed by the atom list — repeated evaluation of the same body under
+   different partial bindings (the shape of every loop in lib/wdpt) pays
+   for instruction selection once *)
+type core = {
+  c_vars : string Interner.t;
+  c_atoms : atom_plan array;  (* [||] when statically infeasible *)
+  c_feasible : bool;
+}
+
+type t = {
+  cdb : Db.t;
+  vars : string Interner.t;  (* variable name <-> slot *)
+  atoms : atom_plan array;
+  init_env : int array;      (* slot -> value id, -1 = unbound *)
+  feasible : bool;           (* false: some atom can never match *)
+  init : Mapping.t;
+}
+
+type plan_tbl = {
+  p_tbl : (Atom.t list, core) Hashtbl.t;
+  (* one-entry memo: callers that evaluate the same body list over many
+     init bindings (every sweep in lib/wdpt and bench) hit on physical
+     equality without hashing the atoms at all *)
+  mutable p_last_key : Atom.t list;
+  mutable p_last : core option;
+}
+
+type Db.plan_store += Plans of plan_tbl
+
+let build_core cdb atom_list =
+  let vars = Interner.create ~capacity:16 () in
+  let feasible = ref true in
+  let atoms =
+    List.map
+      (fun a ->
+        match Db.find_rel cdb (Atom.rel a) (Atom.arity a) with
+        | None ->
+            feasible := false;
+            None
+        | Some rel ->
+            let ops =
+              Array.of_list
+                (List.map
+                   (fun t ->
+                     match t with
+                     | Term.Const v -> (
+                         match Interner.find cdb.Db.pool v with
+                         | Some id -> Check id
+                         | None ->
+                             (* the constant occurs in no fact *)
+                             feasible := false;
+                             Check (-1))
+                     | Term.Var x -> Slot (Interner.intern vars x))
+                   (Atom.args a))
+            in
+            Some { a_rel = rel; a_ops = ops })
+      atom_list
+  in
+  let atoms =
+    if !feasible then Array.of_list (List.map Option.get atoms) else [||]
+  in
+  { c_vars = vars; c_atoms = atoms; c_feasible = !feasible }
+
+let core_of cdb atom_list =
+  let pt =
+    match cdb.Db.plans with
+    | Plans t -> t
+    | _ ->
+        let t = { p_tbl = Hashtbl.create 64; p_last_key = []; p_last = None } in
+        cdb.Db.plans <- Plans t;
+        t
+  in
+  match pt.p_last with
+  | Some core when pt.p_last_key == atom_list -> core
+  | _ ->
+      let core =
+        match Hashtbl.find_opt pt.p_tbl atom_list with
+        | Some core -> core
+        | None ->
+            (* instantiated bodies can produce unboundedly many distinct atom
+               lists per database; a dumb reset bounds the cache *)
+            if Hashtbl.length pt.p_tbl > 4096 then Hashtbl.reset pt.p_tbl;
+            let core = build_core cdb atom_list in
+            Hashtbl.add pt.p_tbl atom_list core;
+            core
+      in
+      pt.p_last_key <- atom_list;
+      pt.p_last <- Some core;
+      core
+
+let compile db atom_list ~init =
+  let cdb = Db.of_database db in
+  let core = core_of cdb atom_list in
+  let feasible = ref core.c_feasible in
+  let nslots = Interner.size core.c_vars in
+  let init_env = Array.make (max 1 nslots) (-1) in
+  List.iter
+    (fun (x, v) ->
+      match Interner.find core.c_vars x with
+      | None -> ()  (* bound variable not mentioned by any atom: passes through *)
+      | Some slot -> (
+          match Interner.find cdb.Db.pool v with
+          | Some id -> init_env.(slot) <- id
+          | None ->
+              (* the variable must match a database value equal to a value
+                 that occurs in no fact *)
+              feasible := false))
+    (Mapping.bindings init);
+  { cdb;
+    vars = core.c_vars;
+    atoms = (if !feasible then core.c_atoms else [||]);
+    init_env;
+    feasible = !feasible;
+    init }
+
+let slot_count p = Interner.size p.vars
+let value_of p id = Interner.get p.cdb.Db.pool id
+let slot_of p x = Interner.find p.vars x
+
+(* ------------------------------------------------------------------ *)
+(* The matching loop                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [iter_envs p f] calls [f env] (env borrowed: valid only during the call)
+   for every assignment of the slots consistent with all atoms. *)
+let iter_envs p f =
+  if p.feasible then begin
+    let env = Array.copy p.init_env in
+    let n = Array.length p.atoms in
+    if n = 0 then f env
+    else begin
+      let remaining = Array.init n Fun.id in
+      (* a slot is written at most once per search path, so one trail of
+         [nslots] entries serves the whole recursion *)
+      let trail = Array.make (Array.length env) 0 in
+      let sp = ref 0 in
+      let undo_to mark =
+        while !sp > mark do
+          decr sp;
+          env.(trail.(!sp)) <- -1
+        done
+      in
+      (* returns false with the trail already unwound on mismatch; on success
+         the caller undoes to its own pre-call mark after recursing *)
+      let match_tuple ops (t : Tuple.t) =
+        let mark = !sp in
+        let len = Array.length ops in
+        let rec go i =
+          if i >= len then true
+          else
+            let arg = t.(i) in
+            match ops.(i) with
+            | Check id -> if arg = id then go (i + 1) else false
+            | Slot s ->
+                let v = env.(s) in
+                if v < 0 then begin
+                  env.(s) <- arg;
+                  trail.(!sp) <- s;
+                  incr sp;
+                  go (i + 1)
+                end
+                else if v = arg then go (i + 1)
+                else false
+        in
+        if go 0 then true
+        else begin
+          undo_to mark;
+          false
+        end
+      in
+      (* estimated candidate count of an atom under the current env: the
+         smallest stored count among bound positions, defaulting to a scan
+         of the whole relation — exactly the ranking the old evaluator
+         computed by materializing and length-comparing candidate lists.
+         Results land in the three refs below so the selection loop in
+         [go] allocates nothing. *)
+      let est_cost = ref 0 and est_rows = ref [||] and est_scan = ref false in
+      let estimate ap =
+        let r = ap.a_rel in
+        est_cost := Array.length r.Db.tuples;
+        est_rows := [||];
+        est_scan := true;
+        let ops = ap.a_ops in
+        for pos = 0 to Array.length ops - 1 do
+          let bound =
+            match ops.(pos) with
+            | Check id -> id
+            | Slot s -> env.(s)
+          in
+          if bound >= 0 then
+            match Hashtbl.find_opt r.Db.index.(pos) bound with
+            | Some cell ->
+                if !est_scan || cell.Db.count < !est_cost then begin
+                  est_cost := cell.Db.count;
+                  est_rows := cell.Db.rows;
+                  est_scan := false
+                end
+            | None -> begin
+                est_cost := 0;
+                est_rows := [||];
+                est_scan := false
+              end
+        done
+      in
+      let rec go k =
+        if k = 0 then f env
+        else begin
+          estimate p.atoms.(remaining.(0));
+          let bi = ref 0 and bcost = ref !est_cost in
+          let brows = ref !est_rows and bscan = ref !est_scan in
+          for j = 1 to k - 1 do
+            estimate p.atoms.(remaining.(j));
+            if !est_cost < !bcost then begin
+              bi := j;
+              bcost := !est_cost;
+              brows := !est_rows;
+              bscan := !est_scan
+            end
+          done;
+          let slot_j = !bi in
+          let ai = remaining.(slot_j) in
+          remaining.(slot_j) <- remaining.(k - 1);
+          remaining.(k - 1) <- ai;
+          let ap = p.atoms.(ai) in
+          let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+          if !bscan then
+            for ti = 0 to Array.length tuples - 1 do
+              let mark = !sp in
+              if match_tuple ops tuples.(ti) then begin
+                go (k - 1);
+                undo_to mark
+              end
+            done
+          else begin
+            let rows = !brows in
+            for ri = 0 to Array.length rows - 1 do
+              let mark = !sp in
+              if match_tuple ops tuples.(rows.(ri)) then begin
+                go (k - 1);
+                undo_to mark
+              end
+            done
+          end;
+          remaining.(k - 1) <- remaining.(slot_j);
+          remaining.(slot_j) <- ai
+        end
+      in
+      go n
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Boundary conversions and the public evaluator API                    *)
+(* ------------------------------------------------------------------ *)
+
+(* conversion table computed once per plan: the slots to read back and the
+   variable names they decode to (init-bound names are never overwritten) *)
+let conversion_table p =
+  let out = ref [] in
+  Interner.iter
+    (fun slot x -> if not (Mapping.mem x p.init) then out := (slot, x) :: !out)
+    p.vars;
+  Array.of_list !out
+
+let mapping_of_env_with p table env =
+  let m = ref p.init in
+  Array.iter
+    (fun (slot, x) ->
+      if env.(slot) >= 0 then m := Mapping.add x (value_of p env.(slot)) !m)
+    table;
+  !m
+
+let mapping_of_env p env = mapping_of_env_with p (conversion_table p) env
+
+let iter_homomorphisms db atoms ~init f =
+  let p = compile db atoms ~init in
+  let table = conversion_table p in
+  iter_envs p (fun env -> f (mapping_of_env_with p table env))
+
+let homomorphisms db atoms ~init =
+  let out = ref [] in
+  iter_homomorphisms db atoms ~init (fun h -> out := h :: !out);
+  !out
+
+exception Found of Mapping.t
+
+let first_homomorphism db atoms ~init =
+  try
+    iter_homomorphisms db atoms ~init (fun h -> raise (Found h));
+    None
+  with Found h -> Some h
+
+exception Sat
+
+let satisfiable db atoms ~init =
+  let p = compile db atoms ~init in
+  try
+    iter_envs p (fun _ -> raise Sat);
+    false
+  with Sat -> true
+
+let distinct_projections db atoms ~init ~onto =
+  let p = compile db atoms ~init in
+  if not p.feasible then []
+  else begin
+    (* split the target variables into environment slots and init
+       pass-throughs; dedup happens on raw slot tuples *)
+    let slotted =
+      List.filter_map
+        (fun x -> Option.map (fun s -> (x, s)) (slot_of p x))
+        onto
+    in
+    let fixed =
+      List.fold_left
+        (fun acc x ->
+          if List.mem_assoc x slotted then acc
+          else
+            match Mapping.find x p.init with
+            | Some v -> Mapping.add x v acc
+            | None -> acc)
+        Mapping.empty onto
+    in
+    let hvars = Array.of_list (List.map fst slotted) in
+    let hslots = Array.of_list (List.map snd slotted) in
+    let seen = Tuple.Tbl.create 256 in
+    (* one reusable probe key; copied only when a new projection is seen *)
+    let nk = Array.length hslots in
+    let probe = Array.make nk 0 in
+    iter_envs p (fun env ->
+        for i = 0 to nk - 1 do
+          probe.(i) <- env.(hslots.(i))
+        done;
+        if not (Tuple.Tbl.mem seen probe) then
+          Tuple.Tbl.add seen (Array.copy probe) ());
+    Tuple.Tbl.fold
+      (fun key () acc ->
+        let m = ref fixed in
+        Array.iteri
+          (fun i v -> m := Mapping.add hvars.(i) (value_of p v) !m)
+          key;
+        !m :: acc)
+      seen []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interned relations (for hash-based semijoin trees)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Rel = struct
+  type t = {
+    vars : string array;  (* sorted, no duplicates *)
+    mutable rows : Tuple.t list;
+    mutable count : int;
+  }
+
+  let vars r = Array.to_list r.vars
+  let var_set r = String_set.of_list (Array.to_list r.vars)
+  let cardinal r = r.count
+  let is_empty r = r.count = 0
+  let unit = { vars = [||]; rows = [ [||] ]; count = 1 }
+
+  let make vars rows =
+    let seen = Tuple.Tbl.create (max 16 (List.length rows)) in
+    let distinct =
+      List.filter
+        (fun t ->
+          if Tuple.Tbl.mem seen t then false
+          else begin
+            Tuple.Tbl.add seen t ();
+            true
+          end)
+        rows
+    in
+    { vars; rows = distinct; count = List.length distinct }
+
+  (* distinct projections of the facts matching [atom] onto its (sorted)
+     variables, computed by a single-atom plan *)
+  let of_atom db atom =
+    let p = compile db [ atom ] ~init:Mapping.empty in
+    let vs = Array.of_list (List.sort String.compare (Atom.vars atom)) in
+    if not p.feasible then { vars = vs; rows = []; count = 0 }
+    else begin
+      let slots =
+        Array.map
+          (fun x ->
+            match slot_of p x with
+            | Some s -> s
+            | None -> assert false (* every variable of the atom has a slot *))
+          vs
+      in
+      let seen = Tuple.Tbl.create 64 in
+      let nk = Array.length slots in
+      let probe = Array.make nk 0 in
+      iter_envs p (fun env ->
+          for i = 0 to nk - 1 do
+            probe.(i) <- env.(slots.(i))
+          done;
+          if not (Tuple.Tbl.mem seen probe) then
+            Tuple.Tbl.add seen (Array.copy probe) ());
+      let rows = Tuple.Tbl.fold (fun t () acc -> t :: acc) seen [] in
+      { vars = vs; rows; count = List.length rows }
+    end
+
+  (* positions of [xs] inside [r.vars] *)
+  let positions r xs =
+    Array.map
+      (fun x ->
+        let rec find i =
+          if i >= Array.length r.vars then
+            invalid_arg "Engine.Rel: variable not present"
+          else if String.equal r.vars.(i) x then i
+          else find (i + 1)
+        in
+        find 0)
+      xs
+
+  let shared_vars r s =
+    let in_s x = Array.exists (String.equal x) s.vars in
+    Array.of_list (List.filter in_s (Array.to_list r.vars))
+
+  let key_of positions t = Array.map (fun p -> t.(p)) positions
+
+  let semijoin r s =
+    let shared = shared_vars r s in
+    let pr = positions r shared and ps = positions s shared in
+    let keys = Tuple.Tbl.create (max 16 s.count) in
+    List.iter
+      (fun t ->
+        let k = key_of ps t in
+        if not (Tuple.Tbl.mem keys k) then Tuple.Tbl.add keys k ())
+      s.rows;
+    let rows = List.filter (fun t -> Tuple.Tbl.mem keys (key_of pr t)) r.rows in
+    { r with rows; count = List.length rows }
+
+  let join r s =
+    let small, large = if r.count <= s.count then (r, s) else (s, r) in
+    let shared = shared_vars large small in
+    let pl = positions large shared and psm = positions small shared in
+    let idx = Tuple.Tbl.create (max 16 small.count) in
+    List.iter
+      (fun t ->
+        let k = key_of psm t in
+        match Tuple.Tbl.find_opt idx k with
+        | Some cell -> cell := t :: !cell
+        | None -> Tuple.Tbl.add idx k (ref [ t ]))
+      small.rows;
+    let out_vars =
+      Array.of_list
+        (List.sort_uniq String.compare
+           (Array.to_list r.vars @ Array.to_list s.vars))
+    in
+    (* each output position reads from the large row or the small row *)
+    let from_large =
+      Array.map
+        (fun x ->
+          let rec find i =
+            if i >= Array.length large.vars then None
+            else if String.equal large.vars.(i) x then Some i
+            else find (i + 1)
+          in
+          find 0)
+        out_vars
+    in
+    let small_pos =
+      Array.map
+        (fun x ->
+          let rec find i =
+            if i >= Array.length small.vars then -1
+            else if String.equal small.vars.(i) x then i
+            else find (i + 1)
+          in
+          find 0)
+        out_vars
+    in
+    let seen = Tuple.Tbl.create 64 in
+    List.iter
+      (fun tl ->
+        match Tuple.Tbl.find_opt idx (key_of pl tl) with
+        | None -> ()
+        | Some cell ->
+            List.iter
+              (fun ts ->
+                let out =
+                  Array.init (Array.length out_vars) (fun i ->
+                      match from_large.(i) with
+                      | Some p -> tl.(p)
+                      | None -> ts.(small_pos.(i)))
+                in
+                if not (Tuple.Tbl.mem seen out) then Tuple.Tbl.add seen out ())
+              !cell)
+      large.rows;
+    let rows = Tuple.Tbl.fold (fun t () acc -> t :: acc) seen [] in
+    { vars = out_vars; rows; count = List.length rows }
+
+  let project keep r =
+    let kept =
+      Array.of_list
+        (List.filter (fun x -> String_set.mem x keep) (Array.to_list r.vars))
+    in
+    if Array.length kept = Array.length r.vars then r
+    else begin
+      let pos = positions r kept in
+      let seen = Tuple.Tbl.create (max 16 r.count) in
+      List.iter
+        (fun t ->
+          let k = key_of pos t in
+          if not (Tuple.Tbl.mem seen k) then Tuple.Tbl.add seen k ())
+        r.rows;
+      let rows = Tuple.Tbl.fold (fun t () acc -> t :: acc) seen [] in
+      { vars = kept; rows; count = List.length rows }
+    end
+
+  let to_mappings db r =
+    let cdb = Db.of_database db in
+    List.map
+      (fun t ->
+        let m = ref Mapping.empty in
+        Array.iteri
+          (fun i x -> m := Mapping.add x (Interner.get cdb.Db.pool t.(i)) !m)
+          r.vars;
+        !m)
+      r.rows
+end

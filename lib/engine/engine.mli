@@ -1,0 +1,90 @@
+(** Compiled evaluation engine.
+
+    Queries are compiled once — values interned to dense ints ({!Interner}),
+    facts stored as immutable {!Tuple.t}s, variables assigned slots of a flat
+    [int array] environment, atoms lowered to per-position check/slot
+    instructions — and then matched by a tight backtracking loop that ranks
+    candidate atoms from stored index counts instead of materialized lists.
+    The compiled form of a database is cached on the database itself and
+    invalidated by [Database.add]; plan cores (instruction selection, slot
+    assignment) are additionally cached per atom list, so re-evaluating one
+    body under many [~init] bindings compiles once.
+
+    [Mapping.t] appears only at the boundaries: [~init] is interned at
+    compile time and solutions are read back out of the slot environment. *)
+
+open Relational
+
+(** A compiled query plan: instructions over a slot environment, bound to the
+    compiled form of one database. *)
+type t
+
+(** [compile db atoms ~init] builds a plan for the homomorphisms of [atoms]
+    into [db] extending [init]. *)
+val compile : Database.t -> Atom.t list -> init:Mapping.t -> t
+
+(** Number of environment slots (distinct variables occurring in the atoms). *)
+val slot_count : t -> int
+
+(** [slot_of p x] is the environment slot of variable [x], if it occurs. *)
+val slot_of : t -> string -> int option
+
+(** [value_of p id] resolves an interned value id from the plan's pool. *)
+val value_of : t -> int -> Value.t
+
+(** [iter_envs p f] calls [f env] for every satisfying slot assignment. The
+    environment is borrowed: it is mutated after [f] returns, so callers must
+    copy whatever they keep. Raising inside [f] aborts the enumeration. *)
+val iter_envs : t -> (int array -> unit) -> unit
+
+(** [mapping_of_env p env] converts a satisfying environment back to a
+    mapping extending the plan's [init]. *)
+val mapping_of_env : t -> int array -> Mapping.t
+
+(** Drop-in equivalents of the [Cq.Eval] entry points, running compiled. *)
+
+val iter_homomorphisms :
+  Database.t -> Atom.t list -> init:Mapping.t -> (Mapping.t -> unit) -> unit
+
+val homomorphisms : Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t list
+
+val first_homomorphism :
+  Database.t -> Atom.t list -> init:Mapping.t -> Mapping.t option
+
+val satisfiable : Database.t -> Atom.t list -> init:Mapping.t -> bool
+
+(** [distinct_projections db atoms ~init ~onto] is the set (no duplicates) of
+    restrictions to [onto] of the homomorphisms of [atoms] extending [init].
+    Deduplication happens on raw slot tuples, before any [Mapping.t] is
+    built. Variables of [onto] bound by [init] but absent from the atoms are
+    preserved; unbound absent ones are dropped (restriction semantics). *)
+val distinct_projections :
+  Database.t -> Atom.t list -> init:Mapping.t -> onto:string list -> Mapping.t list
+
+(** Interned relations: sorted variable arrays over deduplicated id-tuples,
+    with hash-based semijoin/join/project. This is the representation the
+    Yannakakis passes run on. *)
+module Rel : sig
+  type t
+
+  val unit : t
+  val vars : t -> string list
+  val var_set : t -> String_set.t
+  val cardinal : t -> int
+  val is_empty : t -> bool
+
+  (** [make vars rows] builds a relation (rows deduplicated); [vars] must be
+      sorted and each row indexed in that order. *)
+  val make : string array -> Tuple.t list -> t
+
+  (** [of_atom db a] is the distinct projections of the facts matching [a]
+      onto the sorted variables of [a]. *)
+  val of_atom : Database.t -> Atom.t -> t
+
+  val semijoin : t -> t -> t
+  val join : t -> t -> t
+  val project : String_set.t -> t -> t
+
+  (** Boundary conversion of every row to a [Mapping.t]. *)
+  val to_mappings : Database.t -> t -> Mapping.t list
+end

@@ -15,33 +15,52 @@ end
 
 module Idx = Hashtbl.Make (Key)
 
+(* Counted cells: the length rides along with the fact list so index selection
+   is O(1) per bound position instead of a length scan. *)
+type cell = {
+  mutable c_count : int;
+  mutable c_facts : Fact.t list;
+}
+
+type cache = ..
+
 type t = {
   mutable all : Fact.Set.t;
-  by_rel : (string, Fact.t list ref) Hashtbl.t;
-  by_pos : Fact.t list ref Idx.t;
+  by_rel : (string, cell) Hashtbl.t;
+  by_pos : cell Idx.t;
   mutable adom : Value.Set.t;
+  mutable version : int;
+  mutable cache : cache option;
 }
 
 let create () =
   { all = Fact.Set.empty;
     by_rel = Hashtbl.create 16;
     by_pos = Idx.create 64;
-    adom = Value.Set.empty }
+    adom = Value.Set.empty;
+    version = 0;
+    cache = None }
 
 let mem db f = Fact.Set.mem f db.all
+
+let cell_add cell f =
+  cell.c_count <- cell.c_count + 1;
+  cell.c_facts <- f :: cell.c_facts
 
 let add db f =
   if not (mem db f) then begin
     db.all <- Fact.Set.add f db.all;
+    db.version <- db.version + 1;
+    db.cache <- None;
     let cell =
       match Hashtbl.find_opt db.by_rel (Fact.rel f) with
       | Some c -> c
       | None ->
-          let c = ref [] in
+          let c = { c_count = 0; c_facts = [] } in
           Hashtbl.add db.by_rel (Fact.rel f) c;
           c
     in
-    cell := f :: !cell;
+    cell_add cell f;
     List.iteri
       (fun i v ->
         let key = { k_rel = Fact.rel f; k_pos = i; k_val = v } in
@@ -49,11 +68,11 @@ let add db f =
           match Idx.find_opt db.by_pos key with
           | Some c -> c
           | None ->
-              let c = ref [] in
+              let c = { c_count = 0; c_facts = [] } in
               Idx.add db.by_pos key c;
               c
         in
-        cell := f :: !cell;
+        cell_add cell f;
         db.adom <- Value.Set.add v db.adom)
       (Fact.tuple f)
   end
@@ -69,8 +88,18 @@ let facts db = Fact.Set.elements db.all
 
 let facts_of db rel =
   match Hashtbl.find_opt db.by_rel rel with
-  | Some c -> !c
+  | Some c -> c.c_facts
   | None -> []
+
+let count_of db rel =
+  match Hashtbl.find_opt db.by_rel rel with
+  | Some c -> c.c_count
+  | None -> 0
+
+let index_count db rel pos v =
+  match Idx.find_opt db.by_pos { k_rel = rel; k_pos = pos; k_val = v } with
+  | Some c -> c.c_count
+  | None -> 0
 
 let relations db = Hashtbl.fold (fun r _ acc -> r :: acc) db.by_rel []
 
@@ -83,42 +112,39 @@ let schema db =
     Schema.empty (relations db)
 
 let active_domain db = db.adom
+let version db = db.version
+let get_cache db = db.cache
+let set_cache db c = db.cache <- Some c
 
 let candidates db a h =
-  (* Pick the smallest index among the bound positions, defaulting to the
-     whole relation. *)
-  let bound =
-    List.filteri
-      (fun _ _ -> true)
-      (List.mapi
-         (fun i t ->
-           match t with
-           | Term.Const v -> Some (i, v)
-           | Term.Var x -> (
-               match Mapping.find x h with
-               | Some v -> Some (i, v)
-               | None -> None))
-         (Atom.args a))
-    |> List.filter_map Fun.id
+  (* Pick the smallest counted index cell among the bound positions,
+     defaulting to the whole relation; counts are stored, so selection costs
+     O(arity) lookups and never materializes or measures a list. *)
+  let rel = Atom.rel a in
+  let best = ref None in
+  let consider i v =
+    let key = { k_rel = rel; k_pos = i; k_val = v } in
+    let cell =
+      match Idx.find_opt db.by_pos key with
+      | Some c -> c
+      | None -> { c_count = 0; c_facts = [] }
+    in
+    match !best with
+    | Some b when b.c_count <= cell.c_count -> ()
+    | _ -> best := Some cell
   in
-  let whole = facts_of db (Atom.rel a) in
-  let best =
-    List.fold_left
-      (fun acc (i, v) ->
-        let key = { k_rel = Atom.rel a; k_pos = i; k_val = v } in
-        let l =
-          match Idx.find_opt db.by_pos key with
-          | Some c -> !c
-          | None -> []
-        in
-        match acc with
-        | Some best when List.compare_lengths best l <= 0 -> Some best
-        | _ -> Some l)
-      None bound
-  in
-  match best with
-  | Some l -> l
-  | None -> whole
+  List.iteri
+    (fun i t ->
+      match t with
+      | Term.Const v -> consider i v
+      | Term.Var x -> (
+          match Mapping.find x h with
+          | Some v -> consider i v
+          | None -> ()))
+    (Atom.args a);
+  match !best with
+  | Some cell -> cell.c_facts
+  | None -> facts_of db rel
 
 let matches db a h =
   List.filter_map (Mapping.matches_fact h a) (candidates db a h)

@@ -15,8 +15,28 @@ val mem : t -> Fact.t -> bool
 val size : t -> int
 val facts : t -> Fact.t list
 val facts_of : t -> string -> Fact.t list
+
+(** [count_of db rel] is [List.length (facts_of db rel)], read from the
+    counted relation cell in O(1). *)
+val count_of : t -> string -> int
+
+(** [index_count db rel pos v] is the number of facts of [rel] whose argument
+    at [pos] equals [v], read from the counted index cell in O(1). *)
+val index_count : t -> string -> int -> Value.t -> int
+
 val relations : t -> string list
 val schema : t -> Schema.t
+
+(** Monotone modification counter: bumped on every successful {!add}. Lets
+    derived structures (e.g. the compiled engine form) detect staleness. *)
+val version : t -> int
+
+(** One cache slot for a derived structure, invalidated on every {!add}.
+    Extend [cache] with your constructor and check the stored version. *)
+type cache = ..
+
+val get_cache : t -> cache option
+val set_cache : t -> cache -> unit
 
 (** Active domain: every constant occurring in some fact. *)
 val active_domain : t -> Value.Set.t

@@ -1,0 +1,46 @@
+(* Generic intern pools: bijections between hashable values and the dense
+   integers 0, 1, 2, ...  Interned ids index flat arrays in the compiled
+   evaluation engine, so allocation order must be stable: the id of a value is
+   the number of distinct values interned before it. *)
+
+type 'a t = {
+  mutable slots : 'a array;
+  mutable len : int;
+  ids : ('a, int) Hashtbl.t;
+}
+
+let create ?(capacity = 64) () =
+  { slots = [||]; len = 0; ids = Hashtbl.create (max 1 capacity) }
+
+let size p = p.len
+
+let grow p witness =
+  let cap = Array.length p.slots in
+  if p.len >= cap then begin
+    let cap' = max 8 (2 * cap) in
+    let slots' = Array.make cap' witness in
+    Array.blit p.slots 0 slots' 0 p.len;
+    p.slots <- slots'
+  end
+
+let intern p v =
+  match Hashtbl.find_opt p.ids v with
+  | Some id -> id
+  | None ->
+      grow p v;
+      let id = p.len in
+      p.slots.(id) <- v;
+      p.len <- p.len + 1;
+      Hashtbl.add p.ids v id;
+      id
+
+let find p v = Hashtbl.find_opt p.ids v
+
+let get p id =
+  if id < 0 || id >= p.len then invalid_arg "Interner.get: id out of range";
+  p.slots.(id)
+
+let iter f p =
+  for id = 0 to p.len - 1 do
+    f id p.slots.(id)
+  done

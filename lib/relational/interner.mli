@@ -1,0 +1,28 @@
+(** Intern pools mapping hashable values to dense integer ids.
+
+    The compiled evaluation engine stores facts as [int array] tuples whose
+    entries are ids from a pool of {!Value.t}; variable names are interned the
+    same way into environment slots. Ids are allocated densely in first-intern
+    order, so they can index flat arrays directly. Uses structural equality
+    and hashing, which coincide with [Value.equal]/[Value.hash]. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+(** [intern p v] returns the id of [v], allocating the next dense id on first
+    sight. *)
+val intern : 'a t -> 'a -> int
+
+(** [find p v] is the id of [v] if it has been interned. *)
+val find : 'a t -> 'a -> int option
+
+(** [get p id] is the value with id [id].
+    @raise Invalid_argument if [id] was never allocated. *)
+val get : 'a t -> int -> 'a
+
+(** Number of distinct interned values; valid ids are [0 .. size - 1]. *)
+val size : 'a t -> int
+
+(** [iter f p] applies [f id v] in id order. *)
+val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -73,12 +73,28 @@ let pp ppf h =
     (bindings h)
 
 let maximal_elements hs =
-  let distinct =
-    List.sort_uniq compare hs
+  (* A mapping can only be strictly subsumed by one of strictly larger domain
+     (equal cardinality + subsumption = equality), so sweep in decreasing
+     cardinality and test each candidate only against the already-kept
+     mappings of strictly larger domain. Transitivity makes kept-only checks
+     sufficient: anything that subsumes a dropped subsumer is itself kept. *)
+  let distinct = List.sort_uniq compare hs in
+  let by_size_desc =
+    List.stable_sort (fun a b -> Int.compare (cardinal b) (cardinal a)) distinct
   in
-  List.filter
-    (fun h -> not (List.exists (fun h' -> strictly_subsumes h h') distinct))
-    distinct
+  let kept = ref [] in
+  List.iter
+    (fun h ->
+      let n = cardinal h in
+      if
+        not
+          (List.exists
+             (fun (n', h') -> n' > n && subsumes h h')
+             !kept)
+      then kept := (n, h) :: !kept)
+    by_size_desc;
+  (* keep the historical contract: result sorted by [compare] *)
+  List.sort compare (List.rev_map snd !kept)
 
 module Set = Set.Make (struct
   type nonrec t = t

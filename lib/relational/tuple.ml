@@ -1,0 +1,48 @@
+(* Interned tuples: immutable arrays of dense value ids. The compiled engine
+   stores every database fact and every intermediate relation row in this
+   form, so comparisons are int-vs-int and never touch the original values. *)
+
+type t = int array
+
+let of_array = Array.copy
+let of_list = Array.of_list
+let length = Array.length
+let get (t : t) i = t.(i)
+let to_list = Array.to_list
+
+let equal (a : t) (b : t) =
+  a == b
+  ||
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let compare (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Int.compare na nb
+  else
+    let rec go i =
+      if i >= na then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let hash (t : t) = Array.fold_left (fun acc v -> (acc * 31) + v + 1) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

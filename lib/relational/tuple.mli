@@ -1,0 +1,22 @@
+(** Immutable tuples of dense value ids (see {!Interner}).
+
+    The compiled evaluation engine represents facts and relation rows as
+    [int array]s over an intern pool, making the hot matching loop pure
+    integer comparisons. *)
+
+type t = int array
+
+(** [of_array a] copies [a] (callers may reuse their scratch buffer). *)
+val of_array : int array -> t
+
+val of_list : int list -> t
+val length : t -> int
+val get : t -> int -> int
+val to_list : t -> int list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Hash tables keyed by tuples (used for dedup and hash joins). *)
+module Tbl : Hashtbl.S with type key = t

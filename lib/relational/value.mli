@@ -21,6 +21,16 @@ val str : string -> t
     databases). *)
 val fresh : ?tag:string -> unit -> t
 
+(** [reset_fresh ()] rewinds the global fresh-constant counter. Only for test
+    setup: it makes fresh-constant names deterministic per test instead of
+    depending on how many tests ran before. Never call it while values from a
+    previous epoch are still alive in a database. *)
+val reset_fresh : unit -> unit
+
+(** [with_fresh_counter f] runs [f] and restores the counter afterwards, even
+    on exceptions — a scoped variant of {!reset_fresh}. *)
+val with_fresh_counter : (unit -> 'a) -> 'a
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -47,7 +47,9 @@ let decision db p h =
                  beta (and h) whose branches can be completed into a maximal
                  homomorphism that binds exactly the free variables in dom *)
               let rec good t beta =
-                let key = (t, Format.asprintf "%a" Mapping.pp beta) in
+                (* memo key: node id + canonical sorted bindings (cheaper and
+                   collision-free, unlike hashing the balanced map itself) *)
+                let key = (t, Mapping.bindings beta) in
                 match Hashtbl.find_opt memo key with
                 | Some b -> b
                 | None ->

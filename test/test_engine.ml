@@ -1,0 +1,205 @@
+(* The compiled evaluation engine: unit tests for interning, counted indexes
+   and plan caching, plus the agreement properties pinning the engine to the
+   naive reference evaluator (Cq.Eval.Naive) and the engine-backed tractable
+   WDPT evaluator to the reference semantics. *)
+
+open Relational
+open Helpers
+
+(* ---- interner / tuple ------------------------------------------------- *)
+
+let test_interner () =
+  let p = Interner.create () in
+  check_int "first id" 0 (Interner.intern p (Value.int 7));
+  check_int "second id" 1 (Interner.intern p (Value.str "a"));
+  check_int "idempotent" 0 (Interner.intern p (Value.int 7));
+  check_int "size" 2 (Interner.size p);
+  check_bool "get roundtrip" true (Value.equal (Interner.get p 1) (Value.str "a"));
+  check_bool "find hit" true (Interner.find p (Value.int 7) = Some 0);
+  check_bool "find miss" true (Interner.find p (Value.int 8) = None)
+
+let test_tuple () =
+  let a = Tuple.of_list [ 1; 2; 3 ] and b = Tuple.of_list [ 1; 2; 3 ] in
+  check_bool "equal" true (Tuple.equal a b);
+  check_int "hash agrees" (Tuple.hash a) (Tuple.hash b);
+  check_bool "compare" true (Tuple.compare a (Tuple.of_list [ 1; 2; 4 ]) < 0);
+  check_bool "length order" true (Tuple.compare (Tuple.of_list [ 9 ]) a < 0)
+
+(* ---- counted indexes --------------------------------------------------- *)
+
+let test_counted_index () =
+  let db = db_of_edges [ (1, 2); (1, 3); (2, 3) ] in
+  check_int "relation count" 3 (Database.count_of db "E");
+  check_int "absent relation" 0 (Database.count_of db "Z");
+  check_int "pos 0 of 1" 2 (Database.index_count db "E" 0 (Value.int 1));
+  check_int "pos 1 of 3" 2 (Database.index_count db "E" 1 (Value.int 3));
+  check_int "unseen value" 0 (Database.index_count db "E" 0 (Value.int 9));
+  (* candidates picks the smaller counted cell *)
+  let a = atom "E" [ v "x"; v "y" ] in
+  let h = mapping [ ("x", 2) ] in
+  check_int "selective index" 1 (List.length (Database.candidates db a h));
+  check_int "unbound scans relation" 3
+    (List.length (Database.candidates db a Mapping.empty))
+
+let test_cache_invalidation () =
+  let db = db_of_edges [ (1, 2) ] in
+  let v0 = Database.version db in
+  check_bool "satisfiable before" true
+    (Cq.Eval.satisfiable db [ e "x" "y" ] ~init:(mapping [ ("x", 1) ]));
+  check_bool "nothing from 5 yet" false
+    (Cq.Eval.satisfiable db [ e "x" "y" ] ~init:(mapping [ ("x", 5) ]));
+  (* adding a fact must invalidate the compiled form *)
+  Database.add db (Fact.make "E" [ Value.int 5; Value.int 6 ]);
+  check_bool "version bumped" true (Database.version db > v0);
+  check_bool "new fact visible" true
+    (Cq.Eval.satisfiable db [ e "x" "y" ] ~init:(mapping [ ("x", 5) ]));
+  (* idempotent re-add keeps the version (and the cache) *)
+  let v1 = Database.version db in
+  Database.add db (Fact.make "E" [ Value.int 5; Value.int 6 ]);
+  check_int "idempotent add" v1 (Database.version db)
+
+let test_infeasible_plans () =
+  let db = db_of_edges [ (1, 2) ] in
+  check_bool "absent relation" false
+    (Cq.Eval.satisfiable db [ atom "Z" [ v "x" ] ] ~init:Mapping.empty);
+  check_bool "unseen constant" false
+    (Cq.Eval.satisfiable db [ atom "E" [ c 9; v "y" ] ] ~init:Mapping.empty);
+  check_bool "unseen init value" false
+    (Cq.Eval.satisfiable db [ e "x" "y" ] ~init:(mapping [ ("x", 9) ]));
+  (* init values outside the atoms pass through untouched *)
+  let hs =
+    Cq.Eval.homomorphisms db [ e "x" "y" ] ~init:(mapping [ ("z", 42) ])
+  in
+  check_int "pass-through kept" 1 (List.length hs);
+  check_bool "binding survives" true
+    (List.for_all (fun h -> Mapping.find "z" h = Some (Value.int 42)) hs);
+  (* empty body yields exactly init *)
+  let hs = Cq.Eval.homomorphisms db [] ~init:(mapping [ ("z", 1) ]) in
+  check_bool "empty body" true
+    (match hs with [ h ] -> Mapping.equal h (mapping [ ("z", 1) ]) | _ -> false)
+
+(* ---- engine vs naive agreement ---------------------------------------- *)
+
+let prop_answers_agree =
+  qtest ~count:300 "compiled answers = naive answers"
+    (QCheck.pair arbitrary_cq arbitrary_db) (fun (q, db) ->
+      Mapping.Set.equal (Cq.Eval.answers db q) (Cq.Eval.Naive.answers db q))
+
+let prop_homomorphisms_agree =
+  qtest ~count:300 "compiled homomorphism set = naive homomorphism set"
+    (QCheck.pair arbitrary_cq arbitrary_db) (fun (q, db) ->
+      let body = Cq.Query.body q in
+      Mapping.Set.equal
+        (Mapping.Set.of_list (Cq.Eval.homomorphisms db body ~init:Mapping.empty))
+        (Mapping.Set.of_list
+           (Cq.Eval.Naive.homomorphisms db body ~init:Mapping.empty)))
+
+let prop_satisfiable_agree_under_init =
+  qtest ~count:300 "compiled satisfiable = naive satisfiable (random init)"
+    (QCheck.triple arbitrary_cq arbitrary_db (QCheck.int_range 0 7))
+    (fun (q, db, seed) ->
+      let body = Cq.Query.body q in
+      let init =
+        (* bind a random body variable to a value that may or may not occur *)
+        match String_set.elements (Cq.Query.vars q) with
+        | [] -> Mapping.empty
+        | xs ->
+            let x = List.nth xs (seed mod List.length xs) in
+            Mapping.singleton x (Value.int (seed - 2))
+      in
+      Cq.Eval.satisfiable db body ~init
+      = Cq.Eval.Naive.satisfiable db body ~init)
+
+let prop_first_homomorphism_agree =
+  qtest ~count:300 "compiled first-hom existence = naive"
+    (QCheck.pair arbitrary_cq arbitrary_db) (fun (q, db) ->
+      let body = Cq.Query.body q in
+      Option.is_some (Cq.Eval.first_homomorphism db body ~init:Mapping.empty)
+      = Option.is_some
+          (Cq.Eval.Naive.first_homomorphism db body ~init:Mapping.empty))
+
+(* ---- engine-backed tractable WDPT evaluation vs reference semantics ---- *)
+
+let prop_eval_tractable_agrees =
+  qtest ~count:100 "rewired Eval_tractable = reference Semantics.decision"
+    (QCheck.pair arbitrary_small_wdpt arbitrary_db) (fun (p, db) ->
+      let answers = Mapping.Set.elements (Wdpt.Semantics.eval db p) in
+      let negatives =
+        (* perturb each answer: bind a fresh free variable combination *)
+        List.filteri (fun i _ -> i < 3)
+          (List.map
+             (fun h ->
+               match Mapping.bindings h with
+               | (x, _) :: _ -> Mapping.add x (Value.int 997) h
+               | [] -> Mapping.singleton "x" (Value.int 997))
+             answers)
+      in
+      List.for_all
+        (fun h ->
+          Wdpt.Eval_tractable.decision db p h = Wdpt.Semantics.decision db p h)
+        (Mapping.empty :: (answers @ negatives)))
+
+(* ---- maximal_elements sweep -------------------------------------------- *)
+
+let naive_maximal hs =
+  let distinct = List.sort_uniq Mapping.compare hs in
+  List.filter
+    (fun h ->
+      not (List.exists (fun h' -> Mapping.strictly_subsumes h h') distinct))
+    distinct
+
+let arbitrary_mappings =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 25)
+        (let* n = int_range 0 4 in
+         let* vals = list_size (return n) (int_range 0 3) in
+         return
+           (Mapping.of_list
+              (List.mapi (fun i v -> ("x" ^ string_of_int i, Value.int v)) vals))))
+  in
+  QCheck.make
+    ~print:(fun hs -> Format.asprintf "%a" (Format.pp_print_list Mapping.pp) hs)
+    gen
+
+let prop_maximal_elements =
+  qtest ~count:500 "maximal_elements sweep = quadratic reference"
+    arbitrary_mappings (fun hs ->
+      let a = Mapping.Set.of_list (Mapping.maximal_elements hs) in
+      let b = Mapping.Set.of_list (naive_maximal hs) in
+      Mapping.Set.equal a b)
+
+(* ---- interned relations ------------------------------------------------ *)
+
+let test_rel_ops () =
+  let db = db_of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  let r = Engine.Rel.of_atom db (e "x" "y") in
+  check_int "atom relation rows" 3 (Engine.Rel.cardinal r);
+  let s = Engine.Rel.of_atom db (e "y" "z") in
+  let sj = Engine.Rel.semijoin r s in
+  (* (3,4) has no outgoing edge beyond 4 *)
+  check_int "semijoin drops dead end" 2 (Engine.Rel.cardinal sj);
+  let j = Engine.Rel.join r s in
+  check_int "join paths" 2 (Engine.Rel.cardinal j);
+  let pr = Engine.Rel.project (String_set.of_list [ "x"; "z" ]) j in
+  check_int "projection" 2 (Engine.Rel.cardinal pr);
+  let ms = Engine.Rel.to_mappings db pr in
+  check_bool "boundary conversion" true
+    (List.exists (fun m -> Mapping.equal m (mapping [ ("x", 1); ("z", 3) ])) ms);
+  (* self-join pattern E(x,x) only matches loops *)
+  check_bool "self loop absent" true
+    (Engine.Rel.is_empty (Engine.Rel.of_atom db (atom "E" [ v "x"; v "x" ])))
+
+let suite =
+  [ Alcotest.test_case "interner" `Quick test_interner;
+    Alcotest.test_case "tuples" `Quick test_tuple;
+    Alcotest.test_case "counted indexes" `Quick test_counted_index;
+    Alcotest.test_case "compiled cache invalidation" `Quick test_cache_invalidation;
+    Alcotest.test_case "infeasible plans" `Quick test_infeasible_plans;
+    Alcotest.test_case "interned relations" `Quick test_rel_ops;
+    prop_answers_agree;
+    prop_homomorphisms_agree;
+    prop_satisfiable_agree_under_init;
+    prop_first_homomorphism_agree;
+    prop_eval_tractable_agrees;
+    prop_maximal_elements ]
