@@ -51,7 +51,7 @@ let write_json path =
       []
       (List.rev !records)
   in
-  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 2,\n  \"experiments\": {\n";
+  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 3,\n  \"experiments\": {\n";
   let n_groups = List.length groups in
   List.iteri
     (fun gi (exp_id, cell) ->
@@ -580,6 +580,113 @@ let engine_speedup () =
     !worst
 
 (* ---------------------------------------------------------------- *)
+(* AUDIT: plan audit is O(plan size); checked-execution overhead      *)
+(* ---------------------------------------------------------------- *)
+
+let audit_overhead () =
+  section "AUDIT"
+    "Plan_audit is O(plan size), not O(data); checked execution overhead vs fast path";
+  Format.printf
+    "audit must stay flat as |D| grows (it reads per-atom summaries only);@.";
+  Format.printf
+    "checked enumeration re-verifies every instruction and solution.@.";
+  print_row "  %8s  %12s  %14s  %16s  %9s@." "|D|" "audit(ms)"
+    "enum-plain(ms)" "enum-checked(ms)" "overhead";
+  let q = Workload.Gen_cq.chain 4 in
+  let body = Cq.Query.body q in
+  let was_checked = Engine.checked_enabled () in
+  let audit_points = ref [] in
+  List.iter
+    (fun size ->
+      let db =
+        Workload.Gen_db.random_graph_db ~seed:13 ~nodes:(size / 4) ~edges:size
+      in
+      let p = Engine.compile db body ~init:Mapping.empty in
+      let t_audit = time_it (fun () -> ignore (Analysis.Plan_audit.audit p)) in
+      let enum () =
+        let n = ref 0 in
+        Engine.iter_envs p (fun _ -> incr n);
+        !n
+      in
+      Engine.set_checked false;
+      let n_plain = ref 0 in
+      let t_plain = time_it (fun () -> n_plain := enum ()) in
+      Engine.set_checked true;
+      let n_checked = ref 0 in
+      let t_checked = time_it (fun () -> n_checked := enum ()) in
+      Engine.set_checked was_checked;
+      if !n_plain <> !n_checked then failwith "AUDIT: checked enum disagrees";
+      print_row "  %8d  %12.4f  %14.2f  %16.2f  %8.1fx@." size (t_audit *. 1000.)
+        (t_plain *. 1000.) (t_checked *. 1000.)
+        (t_checked /. t_plain);
+      record "AUDIT" (Printf.sprintf "audit |D|=%d" size) t_audit;
+      record "AUDIT" (Printf.sprintf "enum-plain |D|=%d" size) t_plain;
+      record "AUDIT" (Printf.sprintf "enum-checked |D|=%d" size) t_checked;
+      audit_points := (size, t_audit) :: !audit_points)
+    (if !smoke then [ 200; 400 ] else [ 400; 1600; 6400 ]);
+  print_row "  audit growth exponent in |D|: %.2f  (acceptance: ~0, O(plan) not O(data))@."
+    (loglog_slope (List.rev !audit_points));
+  (* audit time against plan size on a fixed database *)
+  print_row "  %8s  %12s@." "atoms" "audit(ms)";
+  let db = Workload.Gen_db.random_graph_db ~seed:13 ~nodes:100 ~edges:400 in
+  List.iter
+    (fun n ->
+      let body = Cq.Query.body (Workload.Gen_cq.chain n) in
+      let p = Engine.compile db body ~init:Mapping.empty in
+      let t = time_it (fun () -> ignore (Analysis.Plan_audit.audit p)) in
+      print_row "  %8d  %12.4f@." n (t *. 1000.);
+      record "AUDIT" (Printf.sprintf "audit atoms=%d" n) t)
+    [ 2; 4; 8 ];
+  (* static bound vs measured counts on the Table-1 workloads: the Cost
+     bound must dominate the measured homomorphism count (soundness), and
+     the gap shows how much the statistics know (EXPERIMENTS.md column) *)
+  print_row "  static bound vs measured (soundness of Analysis.Cost):@.";
+  print_row "  %-26s  %14s  %12s@." "instance" "bound(homs)" "measured";
+  let bound_vs_measured name body free db =
+    let cost = Analysis.Cost.analyze db body ~free in
+    let p = Engine.compile db body ~init:Mapping.empty in
+    let n = ref 0 in
+    Engine.iter_envs p (fun _ -> incr n);
+    let b = cost.Analysis.Cost.hom_bound in
+    print_row "  %-26s  %14s  %12d%s@." name
+      (if b = neg_infinity then "0" else Printf.sprintf "10^%.2f" b)
+      !n
+      (if !n = 0 || log10 (float_of_int !n) <= b +. 1e-9 then ""
+       else "  VIOLATED");
+    record "AUDIT" (Printf.sprintf "bound %s" name) b
+  in
+  List.iter
+    (fun size ->
+      let p = Workload.Gen_wdpt.chain_tree ~nodes:5 ~rel:"E" in
+      let q = Wdpt.Pattern_tree.q_full p in
+      let db =
+        Workload.Gen_db.random_graph_db ~seed:1 ~nodes:(size / 4) ~edges:size
+      in
+      bound_vs_measured
+        (Printf.sprintf "T1-EVAL-a chain |D|=%d" size)
+        (Cq.Query.body q) (Wdpt.Pattern_tree.free p) db)
+    [ 400; 1600 ];
+  List.iter
+    (fun n ->
+      let q = Workload.Gen_cq.guarded_clique n in
+      let db = Database.create () in
+      let vals = List.init (2 * n) (fun i -> Value.int i) in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if not (Value.equal a b) then
+                Database.add db (Fact.make "E" [ a; b ]))
+            vals)
+        vals;
+      Database.add db
+        (Fact.make ("T" ^ string_of_int n) (List.filteri (fun i _ -> i < n) vals));
+      bound_vs_measured
+        (Printf.sprintf "T1-HW guarded clique n=%d" n)
+        (Cq.Query.body q) (Cq.Query.head q) db)
+    [ 3; 4; 5 ]
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure          *)
 (* ---------------------------------------------------------------- *)
 
@@ -644,7 +751,7 @@ let () =
       ("--smoke", Arg.Set smoke,
        "  quick subset (t1a + engine, reduced sizes) for CI");
       ("--only", Arg.String (fun s -> only := Some s),
-       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine bechamel)") ]
+       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine audit bechamel)") ]
   in
   Arg.parse args (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
   Format.printf "WDPT reproduction benchmarks (Barceló & Pichler, PODS 2015)@.";
@@ -664,6 +771,7 @@ let () =
   if want "cor2" then cor2_fpt ();
   if want "prop2" then prop2 ();
   if want "engine" then engine_speedup ();
+  if want "audit" then audit_overhead ();
   if want "bechamel" then bechamel_suite ();
   (match !json_out with
   | Some path -> write_json path

@@ -200,10 +200,19 @@ let lint_source ~relational query =
 
 let json_arg =
   Arg.(value & flag
-       & info [ "j"; "json" ] ~doc:"Emit the diagnostics as a JSON report.")
+       & info [ "j"; "json" ] ~doc:"Emit the diagnostics as a JSON report (same as --format json).")
+
+(* shared by lint and explain; the lint -j flag stays as an alias *)
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json). The JSON diagnostic \
+             schema (codes, spans, witnesses, fixes) is documented in the \
+             README." in
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let lint_cmd =
-  let run query json relational =
+  let run query json format relational =
+    let json = json || format = `Json in
     let ds = lint_source ~relational query in
     if json then
       Format.printf "%a@." Analysis.Json.pp (Analysis.Diagnostic.report_json ds)
@@ -217,7 +226,88 @@ let lint_cmd =
              variables, unsatisfiable nodes, redundant atoms, cartesian \
              products, dead OPT branches, class membership. Exit code 0 = \
              clean (hints only), 1 = warnings, 2 = errors.")
-    Term.(const run $ query_arg $ json_arg $ relational_arg)
+    Term.(const run $ query_arg $ json_arg $ format_arg $ relational_arg)
+
+let explain_cmd =
+  let run query data format relational =
+    let lint_ds = lint_source ~relational query in
+    let fatal =
+      List.exists
+        (fun d -> d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+        lint_ds
+    in
+    if fatal then begin
+      (* the query does not compile to a plan: report like lint and stop *)
+      (if format = `Json then
+         Format.printf "%a@." Analysis.Json.pp
+           (Analysis.Diagnostic.report_json lint_ds)
+       else List.iter (Format.printf "%a@." Analysis.Diagnostic.pp) lint_ds);
+      exit (Analysis.Diagnostic.exit_code lint_ds)
+    end;
+    let p = or_die (load_tree ~relational query) in
+    let q = Wdpt.Pattern_tree.q_full p in
+    let db =
+      match data with
+      | Some path -> or_die (load_db ~relational path)
+      | None ->
+          (* no data given: explain against the canonical database of the
+             full-tree query, which the plan matches by construction *)
+          fst (Cq.Query.freeze q)
+    in
+    let atoms = Cq.Query.body q in
+    let plan = Engine.compile db atoms ~init:Relational.Mapping.empty in
+    let view = Engine.Inspect.plan plan in
+    let audit_ds = Analysis.Plan_audit.audit_view view in
+    let ds = lint_ds @ audit_ds in
+    let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
+    let tree_growth = Analysis.Cost.tree_growth p in
+    (match format with
+    | `Json ->
+        let tree_json =
+          Analysis.Json.Obj
+            (("growth", Analysis.Cost.growth_json tree_growth)
+            ::
+            (match Analysis.Cost.tree_class p with
+            | Some (k, c) ->
+                [ ("local-tw", Analysis.Json.Int k); ("interface", Int c) ]
+            | None -> []))
+        in
+        Format.printf "%a@." Analysis.Json.pp
+          (Analysis.Json.Obj
+             [ ("version", Int 1);
+               ("plan", Analysis.Plan_audit.view_json view);
+               ("audit", Analysis.Diagnostic.report_json ds);
+               ("cost", Analysis.Cost.to_json cost);
+               ("tree", tree_json);
+               ("exit-code", Int (Analysis.Diagnostic.exit_code ds)) ])
+    | `Text ->
+        Format.printf "@[<v>plan:@,%a@]@." Analysis.Plan_audit.pp_view view;
+        if ds = [] then Format.printf "audit: clean@."
+        else begin
+          Format.printf "audit:@.";
+          List.iter (Format.printf "  %a@." Analysis.Diagnostic.pp) ds
+        end;
+        Format.printf "@[<v>cost:@,%a@]@." Analysis.Cost.pp cost;
+        Format.printf "tree: %a%s@." Analysis.Cost.pp_growth tree_growth
+          (match Analysis.Cost.tree_class p with
+          | Some (k, c) ->
+              Printf.sprintf " (locally TW(%d), interface %d)" k c
+          | None -> ""));
+    exit (Analysis.Diagnostic.exit_code ds)
+  in
+  let data_opt =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"FILE"
+             ~doc:"Data to compile against; defaults to the query's canonical \
+                   database.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Compile the query and print the engine plan, the static audit \
+             verdict (E-series diagnostics over the IR) and width-based cost \
+             bounds. Exit codes match $(b,lint): 0 = clean, 1 = warnings, 2 \
+             = errors.")
+    Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg)
 
 let check_cmd =
   let run query relational =
@@ -257,4 +347,5 @@ let () =
             optimize_cmd;
             union_cmd;
             check_cmd;
-            lint_cmd ]))
+            lint_cmd;
+            explain_cmd ]))

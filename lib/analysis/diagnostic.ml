@@ -12,6 +12,12 @@ type code =
   | Cartesian_product
   | Dead_branch
   | Class_membership
+  | Uninit_slot_read
+  | Interner_range
+  | Plan_arity_mismatch
+  | Dead_slot
+  | Order_inversion
+  | Stale_plan
 
 let code_id = function
   | Parse_error -> "S001"
@@ -22,6 +28,12 @@ let code_id = function
   | Cartesian_product -> "W005"
   | Dead_branch -> "W006"
   | Class_membership -> "W007"
+  | Uninit_slot_read -> "E001"
+  | Interner_range -> "E002"
+  | Plan_arity_mismatch -> "E003"
+  | Dead_slot -> "E004"
+  | Order_inversion -> "E005"
+  | Stale_plan -> "E006"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -32,11 +44,19 @@ let code_name = function
   | Cartesian_product -> "cartesian-product"
   | Dead_branch -> "dead-branch"
   | Class_membership -> "class-membership"
+  | Uninit_slot_read -> "uninitialized-slot-read"
+  | Interner_range -> "interner-id-out-of-range"
+  | Plan_arity_mismatch -> "plan-arity-mismatch"
+  | Dead_slot -> "dead-slot"
+  | Order_inversion -> "atom-order-inversion"
+  | Stale_plan -> "stale-plan-cache"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
   | Unsatisfiable | Redundant_atom | Cartesian_product | Dead_branch -> Warning
   | Class_membership -> Hint
+  | Uninit_slot_read | Interner_range | Plan_arity_mismatch | Stale_plan -> Error
+  | Dead_slot | Order_inversion -> Warning
 
 type witness =
   | Disconnected of { variable : string; top : int; stray : int; broken_at : int }
@@ -54,6 +74,12 @@ type witness =
   | Cartesian of { node : int; components : string list list }
   | Dead of { node : int }
   | Membership of { local_tw : int; interface : int; wb_tw : int }
+  | Slot_range of { atom : int; op : int; slot : int; env : int }
+  | Id_range of { site : string; id : int; pool : int }
+  | Plan_arity of { atom : int; relation : string; ops : int; arity : int; index : int }
+  | Dead_slot_of of { slot : int; variable : string }
+  | Inversion of { first : int; rows_first : int; second : int; rows_second : int }
+  | Stale of { compiled : int; live : int }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -142,6 +168,30 @@ let witness_json w =
   | Membership { local_tw; interface; wb_tw } ->
       kind "class-membership"
         [ ("local-tw", Int local_tw); ("interface", Int interface); ("wb-tw", Int wb_tw) ]
+  | Slot_range { atom; op; slot; env } ->
+      kind "slot-out-of-range"
+        [ ("atom", Int atom); ("op", Int op); ("slot", Int slot); ("env-size", Int env) ]
+  | Id_range { site; id; pool } ->
+      kind "interner-id-out-of-range"
+        [ ("site", Str site); ("id", Int id); ("pool-size", Int pool) ]
+  | Plan_arity { atom; relation; ops; arity; index } ->
+      kind "plan-arity-mismatch"
+        [ ("atom", Int atom);
+          ("relation", Str relation);
+          ("ops", Int ops);
+          ("arity", Int arity);
+          ("indexes", Int index) ]
+  | Dead_slot_of { slot; variable } ->
+      kind "dead-slot" [ ("slot", Int slot); ("variable", Str variable) ]
+  | Inversion { first; rows_first; second; rows_second } ->
+      kind "atom-order-inversion"
+        [ ( "earlier",
+            Obj [ ("atom", Int first); ("rows", Int rows_first) ] );
+          ( "later",
+            Obj [ ("atom", Int second); ("rows", Int rows_second) ] ) ]
+  | Stale { compiled; live } ->
+      kind "stale-plan-cache"
+        [ ("compiled-version", Int compiled); ("live-version", Int live) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

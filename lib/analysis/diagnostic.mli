@@ -19,7 +19,24 @@
     - [W006 dead-branch] — an OPT branch that binds no new variable and
       therefore never extends any answer (warning);
     - [W007 class-membership] — the least widths placing the query in the
-      paper's tractable fragments (hint). *)
+      paper's tractable fragments (hint).
+
+    The E-series codes are findings of the plan auditor ({!Plan_audit}) over
+    the compiled engine IR ({!Engine.Inspect.view}):
+
+    - [E001 uninitialized-slot-read] — an instruction references an
+      environment slot outside the initialized environment (error);
+    - [E002 interner-id-out-of-range] — a [Check] constant or an initial
+      binding carries an id outside the interner pool (error);
+    - [E003 plan-arity-mismatch] — an atom's instruction count, its
+      relation's stored arity and its per-position index count disagree
+      (error);
+    - [E004 dead-slot] — a slot in the slot table that no instruction reads
+      or writes and that carries no initial binding (warning);
+    - [E005 atom-order-inversion] — the static atom order contradicts the
+      stored relation counts it was derived from (warning);
+    - [E006 stale-plan-cache] — the plan's compiled database snapshot is
+      older than the live database's version counter (error). *)
 
 open Relational
 
@@ -34,6 +51,12 @@ type code =
   | Cartesian_product  (** W005 *)
   | Dead_branch  (** W006 *)
   | Class_membership  (** W007 *)
+  | Uninit_slot_read  (** E001 *)
+  | Interner_range  (** E002 *)
+  | Plan_arity_mismatch  (** E003 *)
+  | Dead_slot  (** E004 *)
+  | Order_inversion  (** E005 *)
+  | Stale_plan  (** E006 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -79,6 +102,27 @@ type witness =
       interface : int;  (** least c with p ∈ BI(c) *)
       wb_tw : int;  (** least k with p ∈ WB(k) = g-TW(k) *)
     }
+  | Slot_range of { atom : int; op : int; slot : int; env : int }
+      (** E001: instruction [op] of [atom] touches [slot], environment has
+          [env] slots *)
+  | Id_range of { site : string; id : int; pool : int }
+      (** E002: [site] ("atom i op j" / "init slot s") carries [id], pool has
+          [pool] ids *)
+  | Plan_arity of {
+      atom : int;
+      relation : string;
+      ops : int;  (** instruction count *)
+      arity : int;  (** stored relation arity *)
+      index : int;  (** per-position index count *)
+    }  (** E003 *)
+  | Dead_slot_of of { slot : int; variable : string }  (** E004 *)
+  | Inversion of {
+      first : int;  (** plan index of the earlier atom *)
+      rows_first : int;
+      second : int;  (** plan index of the later, smaller atom *)
+      rows_second : int;
+    }  (** E005 *)
+  | Stale of { compiled : int; live : int }  (** E006: version counters *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

@@ -2,6 +2,7 @@ type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | Str of string
   | List of t list
   | Obj of (string * t) list
@@ -26,6 +27,10 @@ let rec pp ppf = function
   | Null -> Format.pp_print_string ppf "null"
   | Bool b -> Format.pp_print_bool ppf b
   | Int i -> Format.pp_print_int ppf i
+  | Float f ->
+      (* JSON has no inf/nan literals; those render as null *)
+      if Float.is_finite f then Format.fprintf ppf "%.6g" f
+      else Format.pp_print_string ppf "null"
   | Str s -> Format.fprintf ppf "\"%s\"" (escape s)
   | List [] -> Format.pp_print_string ppf "[]"
   | List xs ->

@@ -1,0 +1,38 @@
+(** Static verification of compiled engine plans ({!Engine.Inspect.view}).
+
+    The auditor checks the structural invariants the compiler is supposed to
+    establish and reports violations as E-series {!Diagnostic}s, each with a
+    machine-checkable witness:
+
+    - [E001 uninitialized-slot-read] — a [Slot] instruction outside the
+      environment, or an environment shorter than the slot table;
+    - [E002 interner-id-out-of-range] — a [Check] constant or initial binding
+      outside the interner pool;
+    - [E003 plan-arity-mismatch] — instruction count, stored relation arity
+      and per-position index count disagree;
+    - [E004 dead-slot] — a slot no instruction touches and no initial binding
+      fills;
+    - [E005 atom-order-inversion] — the static atom order is not a
+      permutation sorted ascending by stored row counts;
+    - [E006 stale-plan-cache] — compiled database snapshot older than the
+      live version counter.
+
+    All checks are O(plan size); no stored tuple is inspected. An infeasible
+    plan (a constant that failed to intern) carries no instructions, so only
+    the staleness check applies to it. *)
+
+(** Audit a view. Diagnostics come back in check order (E001 … E006), each
+    atom in plan order. A plan freshly produced by {!Engine.compile} audits
+    clean. *)
+val audit_view : Engine.Inspect.view -> Diagnostic.t list
+
+(** [audit p = audit_view (Engine.Inspect.plan p)]. *)
+val audit : Engine.t -> Diagnostic.t list
+
+(** JSON rendering of the plan itself (slots, instructions, order, versions)
+    for [wdpt explain --format json]. *)
+val view_json : Engine.Inspect.view -> Json.t
+
+(** Text rendering of the plan for [wdpt explain]. Multi-line; boxed by the
+    caller. *)
+val pp_view : Format.formatter -> Engine.Inspect.view -> unit

@@ -31,6 +31,7 @@ module Db = struct
   }
 
   type rel = {
+    name : string;
     arity : int;
     tuples : Tuple.t array;
     index : (int, cell) Hashtbl.t array;  (* per position: value id -> cell *)
@@ -100,7 +101,7 @@ module Db = struct
                 cell.acc <- [])
               tbl)
           index;
-        Hashtbl.add rels (name, arity) { arity; tuples; index })
+        Hashtbl.add rels (name, arity) { name; arity; tuples; index })
       buckets;
     { pool; rels; db_version = Database.version db; plans = No_plans }
 
@@ -139,6 +140,7 @@ type atom_plan = {
 type core = {
   c_vars : string Interner.t;
   c_atoms : atom_plan array;  (* [||] when statically infeasible *)
+  c_order : int array;        (* static atom order: ascending stored row count *)
   c_feasible : bool;
 }
 
@@ -146,9 +148,12 @@ type t = {
   cdb : Db.t;
   vars : string Interner.t;  (* variable name <-> slot *)
   atoms : atom_plan array;
+  order : int array;         (* initial arrangement of [remaining] *)
   init_env : int array;      (* slot -> value id, -1 = unbound *)
   feasible : bool;           (* false: some atom can never match *)
   init : Mapping.t;
+  src_atoms : Atom.t list;   (* the compiled atom list, for inspection *)
+  src_db : Database.t;       (* the database the plan was compiled against *)
 }
 
 type plan_tbl = {
@@ -194,7 +199,18 @@ let build_core cdb atom_list =
   let atoms =
     if !feasible then Array.of_list (List.map Option.get atoms) else [||]
   in
-  { c_vars = vars; c_atoms = atoms; c_feasible = !feasible }
+  (* static atom order: smallest relations first (stable). The runtime
+     selection is still dynamic (fewest candidates under the current env);
+     this only fixes the initial arrangement and tie-breaking, and gives the
+     plan a statically auditable order invariant. *)
+  let order =
+    let rows i = Array.length atoms.(i).a_rel.Db.tuples in
+    Array.of_list
+      (List.stable_sort
+         (fun a b -> compare (rows a) (rows b))
+         (List.init (Array.length atoms) Fun.id))
+  in
+  { c_vars = vars; c_atoms = atoms; c_order = order; c_feasible = !feasible }
 
 let core_of cdb atom_list =
   let pt =
@@ -244,9 +260,12 @@ let compile db atom_list ~init =
   { cdb;
     vars = core.c_vars;
     atoms = (if !feasible then core.c_atoms else [||]);
+    order = (if !feasible then core.c_order else [||]);
     init_env;
     feasible = !feasible;
-    init }
+    init;
+    src_atoms = atom_list;
+    src_db = db }
 
 let slot_count p = Interner.size p.vars
 let value_of p id = Interner.get p.cdb.Db.pool id
@@ -258,13 +277,13 @@ let slot_of p x = Interner.find p.vars x
 
 (* [iter_envs p f] calls [f env] (env borrowed: valid only during the call)
    for every assignment of the slots consistent with all atoms. *)
-let iter_envs p f =
+let iter_envs_fast p f =
   if p.feasible then begin
     let env = Array.copy p.init_env in
     let n = Array.length p.atoms in
     if n = 0 then f env
     else begin
-      let remaining = Array.init n Fun.id in
+      let remaining = Array.copy p.order in
       (* a slot is written at most once per search path, so one trail of
          [nslots] entries serves the whole recursion *)
       let trail = Array.make (Array.length env) 0 in
@@ -383,6 +402,309 @@ let iter_envs p f =
       go n
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Checked execution (sanitizer mode)                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Check_failure of string
+
+let check_fail fmt = Format.kasprintf (fun s -> raise (Check_failure s)) fmt
+
+let checked =
+  ref
+    (match Sys.getenv_opt "WDPT_ENGINE_CHECKED" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_checked b = checked := b
+let checked_enabled () = !checked
+
+(* static plan invariants, the runtime twin of Analysis.Plan_audit: slots in
+   range of the environment (E001), interner ids inside the pool (E002),
+   instruction and index arity coherent with the stored relation (E003),
+   static order sorted by stored counts (E005), compiled database not stale
+   (E006). O(plan size). *)
+let sanitize_static p =
+  let nenv = Array.length p.init_env in
+  let pool = Interner.size p.cdb.Db.pool in
+  if p.cdb.Db.db_version <> Database.version p.src_db then
+    check_fail "stale compiled database: built at version %d, database is at %d"
+      p.cdb.Db.db_version (Database.version p.src_db);
+  Array.iteri
+    (fun ai ap ->
+      let r = ap.a_rel in
+      if Array.length ap.a_ops <> r.Db.arity || Array.length r.Db.index <> r.Db.arity
+      then
+        check_fail "atom %d (%s): %d instruction(s), %d index(es), arity %d" ai
+          r.Db.name (Array.length ap.a_ops) (Array.length r.Db.index) r.Db.arity;
+      Array.iteri
+        (fun oi op ->
+          match op with
+          | Check id ->
+              if id < 0 || id >= pool then
+                check_fail "atom %d op %d: interner id %d outside pool of %d" ai
+                  oi id pool
+          | Slot s ->
+              if s < 0 || s >= nenv then
+                check_fail "atom %d op %d: slot %d outside environment of %d" ai
+                  oi s nenv)
+        ap.a_ops)
+    p.atoms;
+  Array.iteri
+    (fun s id ->
+      if id < -1 || id >= pool then
+        check_fail "init slot %d: interner id %d outside pool of %d" s id pool)
+    p.init_env;
+  let n = Array.length p.atoms in
+  if Array.length p.order <> n then
+    check_fail "static order covers %d atom(s), plan has %d"
+      (Array.length p.order) n;
+  let seen = Array.make (max 1 n) false in
+  Array.iter
+    (fun ai ->
+      if ai < 0 || ai >= n || seen.(ai) then
+        check_fail "static order is not a permutation of the atoms";
+      seen.(ai) <- true)
+    p.order;
+  for i = 0 to n - 2 do
+    let rows ai = Array.length p.atoms.(p.order.(ai)).a_rel.Db.tuples in
+    if rows i > rows (i + 1) then
+      check_fail
+        "static order inversion: atom %d (%d rows) before atom %d (%d rows)"
+        p.order.(i) (rows i)
+        p.order.(i + 1)
+        (rows (i + 1))
+  done
+
+(* revalidate one reported solution: every slot an instruction touches is
+   bound, and each atom is satisfied by some stored tuple (found through the
+   position-0 index, so the cost is one counted cell, not the relation). *)
+let verify_solution p env =
+  Array.iteri
+    (fun ai ap ->
+      let ops = ap.a_ops in
+      let r = ap.a_rel in
+      let expected i =
+        match ops.(i) with
+        | Check id -> id
+        | Slot s ->
+            if env.(s) < 0 then
+              check_fail "solution leaves slot %d of atom %d unbound" s ai;
+            env.(s)
+      in
+      let matches (t : Tuple.t) =
+        let ok = ref true in
+        for i = 0 to Array.length ops - 1 do
+          if t.(i) <> expected i then ok := false
+        done;
+        !ok
+      in
+      let found =
+        if Array.length ops = 0 then Array.length r.Db.tuples > 0
+        else
+          match Hashtbl.find_opt r.Db.index.(0) (expected 0) with
+          | None -> false
+          | Some cell -> Array.exists (fun ri -> matches r.Db.tuples.(ri)) cell.Db.rows
+      in
+      if not found then
+        check_fail "solution violates atom %d (%s): no matching stored tuple" ai
+          r.Db.name)
+    p.atoms
+
+(* instrumented twin of [iter_envs_fast]: identical instruction selection and
+   enumeration order, with every instruction's effect validated — tuple
+   widths, single-write slot discipline, trail bracketing — and every
+   reported solution re-verified against the stored relations. *)
+let iter_envs_checked p f =
+  sanitize_static p;
+  if p.feasible then begin
+    let env = Array.copy p.init_env in
+    let n = Array.length p.atoms in
+    if n = 0 then f env
+    else begin
+      let remaining = Array.copy p.order in
+      let trail = Array.make (Array.length env) 0 in
+      let sp = ref 0 in
+      let undo_to mark =
+        while !sp > mark do
+          decr sp;
+          let s = trail.(!sp) in
+          if env.(s) < 0 then
+            check_fail "trail undo of slot %d: slot was not bound" s;
+          env.(s) <- -1
+        done;
+        if !sp <> mark then check_fail "trail not unwound to its mark"
+      in
+      let match_tuple ai ops (t : Tuple.t) =
+        let mark = !sp in
+        let len = Array.length ops in
+        if Array.length t <> len then
+          check_fail "atom %d: stored tuple width %d, %d instruction(s)" ai
+            (Array.length t) len;
+        let rec go i =
+          if i >= len then true
+          else
+            let arg = t.(i) in
+            match ops.(i) with
+            | Check id -> if arg = id then go (i + 1) else false
+            | Slot s ->
+                let v = env.(s) in
+                if v < 0 then begin
+                  if !sp >= Array.length trail then
+                    check_fail "trail overflow writing slot %d" s;
+                  env.(s) <- arg;
+                  trail.(!sp) <- s;
+                  incr sp;
+                  go (i + 1)
+                end
+                else if v = arg then go (i + 1)
+                else false
+        in
+        if go 0 then true
+        else begin
+          undo_to mark;
+          false
+        end
+      in
+      let est_cost = ref 0 and est_rows = ref [||] and est_scan = ref false in
+      let estimate ap =
+        let r = ap.a_rel in
+        est_cost := Array.length r.Db.tuples;
+        est_rows := [||];
+        est_scan := true;
+        let ops = ap.a_ops in
+        for pos = 0 to Array.length ops - 1 do
+          let bound =
+            match ops.(pos) with
+            | Check id -> id
+            | Slot s -> env.(s)
+          in
+          if bound >= 0 then
+            match Hashtbl.find_opt r.Db.index.(pos) bound with
+            | Some cell ->
+                if cell.Db.count <> Array.length cell.Db.rows then
+                  check_fail "index cell of %s pos %d: count %d, %d row(s)"
+                    r.Db.name pos cell.Db.count (Array.length cell.Db.rows);
+                if !est_scan || cell.Db.count < !est_cost then begin
+                  est_cost := cell.Db.count;
+                  est_rows := cell.Db.rows;
+                  est_scan := false
+                end
+            | None -> begin
+                est_cost := 0;
+                est_rows := [||];
+                est_scan := false
+              end
+        done
+      in
+      let rec go k =
+        if k = 0 then begin
+          verify_solution p env;
+          f env
+        end
+        else begin
+          estimate p.atoms.(remaining.(0));
+          let bi = ref 0 and bcost = ref !est_cost in
+          let brows = ref !est_rows and bscan = ref !est_scan in
+          for j = 1 to k - 1 do
+            estimate p.atoms.(remaining.(j));
+            if !est_cost < !bcost then begin
+              bi := j;
+              bcost := !est_cost;
+              brows := !est_rows;
+              bscan := !est_scan
+            end
+          done;
+          let slot_j = !bi in
+          let ai = remaining.(slot_j) in
+          remaining.(slot_j) <- remaining.(k - 1);
+          remaining.(k - 1) <- ai;
+          let ap = p.atoms.(ai) in
+          let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+          if !bscan then
+            for ti = 0 to Array.length tuples - 1 do
+              let mark = !sp in
+              if match_tuple ai ops tuples.(ti) then begin
+                go (k - 1);
+                undo_to mark
+              end
+            done
+          else begin
+            let rows = !brows in
+            for ri = 0 to Array.length rows - 1 do
+              let mark = !sp in
+              if match_tuple ai ops tuples.(rows.(ri)) then begin
+                go (k - 1);
+                undo_to mark
+              end
+            done
+          end;
+          remaining.(k - 1) <- remaining.(slot_j);
+          remaining.(slot_j) <- ai
+        end
+      in
+      go n;
+      if !sp <> 0 then check_fail "trail not empty after enumeration";
+      Array.iteri
+        (fun s v ->
+          if v <> p.init_env.(s) then
+            check_fail "environment slot %d not restored after enumeration" s)
+        env
+    end
+  end
+
+let iter_envs p f = if !checked then iter_envs_checked p f else iter_envs_fast p f
+
+(* ------------------------------------------------------------------ *)
+(* Plan inspection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Inspect = struct
+  type atom_view = {
+    a_index : int;
+    a_atom : Atom.t;
+    a_rel : string;
+    a_arity : int;
+    a_index_arity : int;
+    a_rows : int;
+    a_ops : op array;
+  }
+
+  type view = {
+    i_feasible : bool;
+    i_slots : string array;
+    i_pool : int;
+    i_env : int array;
+    i_atoms : atom_view array;
+    i_order : int array;
+    i_compiled_version : int;
+    i_live_version : int;
+  }
+
+  let plan (p : t) =
+    let src = Array.of_list p.src_atoms in
+    let atoms =
+      Array.mapi
+        (fun i (ap : atom_plan) ->
+          { a_index = i;
+            a_atom = src.(i);
+            a_rel = ap.a_rel.Db.name;
+            a_arity = ap.a_rel.Db.arity;
+            a_index_arity = Array.length ap.a_rel.Db.index;
+            a_rows = Array.length ap.a_rel.Db.tuples;
+            a_ops = Array.copy ap.a_ops })
+        p.atoms
+    in
+    { i_feasible = p.feasible;
+      i_slots = Array.init (Interner.size p.vars) (Interner.get p.vars);
+      i_pool = Interner.size p.cdb.Db.pool;
+      i_env = Array.copy p.init_env;
+      i_atoms = atoms;
+      i_order = Array.copy p.order;
+      i_compiled_version = p.cdb.Db.db_version;
+      i_live_version = Database.version p.src_db }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Boundary conversions and the public evaluator API                    *)

@@ -19,6 +19,13 @@ open Relational
     compiled form of one database. *)
 type t
 
+(** One per-position instruction of an atom's matching sequence: [Check id]
+    requires the argument to equal the interned constant [id]; [Slot s] reads
+    environment slot [s] when bound and writes it otherwise. *)
+type op =
+  | Check of int
+  | Slot of int
+
 (** [compile db atoms ~init] builds a plan for the homomorphisms of [atoms]
     into [db] extending [init]. *)
 val compile : Database.t -> Atom.t list -> init:Mapping.t -> t
@@ -88,3 +95,50 @@ module Rel : sig
   (** Boundary conversion of every row to a [Mapping.t]. *)
   val to_mappings : Database.t -> t -> Mapping.t list
 end
+
+(** Structural view of a compiled plan, for static verification
+    ({!Analysis.Plan_audit}) and the [explain] CLI. The view is plain data:
+    corrupting a copy (tests do) cannot corrupt the plan itself. *)
+module Inspect : sig
+  type atom_view = {
+    a_index : int;  (** position in plan (= source atom list) order *)
+    a_atom : Atom.t;  (** the source atom this plan entry compiles *)
+    a_rel : string;  (** stored relation name *)
+    a_arity : int;  (** stored relation arity *)
+    a_index_arity : int;  (** number of per-position indexes *)
+    a_rows : int;  (** stored tuple count *)
+    a_ops : op array;  (** per-position instructions *)
+  }
+
+  type view = {
+    i_feasible : bool;
+    i_slots : string array;  (** slot -> variable name *)
+    i_pool : int;  (** interner pool size; valid ids are [0 .. i_pool-1] *)
+    i_env : int array;  (** initial environment (slot -> id, -1 unbound) *)
+    i_atoms : atom_view array;  (** empty when infeasible *)
+    i_order : int array;
+        (** static atom order: indices into [i_atoms], ascending row count *)
+    i_compiled_version : int;  (** database version the plan was built at *)
+    i_live_version : int;  (** database version at inspection time *)
+  }
+
+  (** Snapshot the IR of a compiled plan. *)
+  val plan : t -> view
+end
+
+(** {2 Checked execution (sanitizer mode)}
+
+    When enabled — [WDPT_ENGINE_CHECKED=1] in the environment, or
+    {!set_checked} — every enumeration runs on an instrumented interpreter
+    that validates the plan invariants statically (the runtime twin of
+    [Analysis.Plan_audit]: slot ranges, interner ids, arity coherence, order,
+    staleness), checks each instruction's effect (tuple widths, single-write
+    slot discipline, trail bracketing, index counts), and re-verifies every
+    reported solution against the stored relations. Same instruction
+    selection and enumeration order as the fast path. *)
+
+(** Raised by the instrumented interpreter on any invariant violation. *)
+exception Check_failure of string
+
+val set_checked : bool -> unit
+val checked_enabled : unit -> bool

@@ -9,6 +9,12 @@ type t = {
 let width htd =
   Array.fold_left (fun w g -> max w (List.length g)) 0 htd.guards
 
+let guard_weight htd ~weight =
+  Array.fold_left
+    (fun acc guards ->
+      List.fold_left (fun acc g -> acc +. weight g) acc guards)
+    0. htd.guards
+
 let is_valid hg htd =
   let td = { Tree_decomposition.bags = htd.bags; tree = htd.tree } in
   Tree_decomposition.is_valid hg td

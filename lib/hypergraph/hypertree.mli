@@ -12,6 +12,15 @@ type t = {
 
 val width : t -> int
 
+(** [guard_weight htd ~weight] is [Σ_bags Σ_{guards of bag} weight guard].
+    With [weight e = log10 |R_e|] this is the log-domain per-bag guard
+    product: any homomorphism restricted to a bag is determined by one
+    matching tuple per guard edge, so the number of homomorphisms is at most
+    [Π_bags Π_guards |R_guard|] — the decomposition-based output bound in the
+    spirit of the AGM / hypertree-decomposition guarantees, computed
+    statically from stored relation cardinalities. *)
+val guard_weight : t -> weight:(String_set.t -> float) -> float
+
 (** Validates: (bags, tree) is a tree decomposition and every bag is covered
     by the union of its guards. *)
 val is_valid : Hypergraph.t -> t -> bool

@@ -28,7 +28,10 @@ type t = {
   mutable all : Fact.Set.t;
   by_rel : (string, cell) Hashtbl.t;
   by_pos : cell Idx.t;
+  distinct : (string * int, int ref) Hashtbl.t;
+      (* (rel, pos) -> number of distinct values at that position *)
   mutable adom : Value.Set.t;
+  mutable adom_count : int;
   mutable version : int;
   mutable cache : cache option;
 }
@@ -37,7 +40,9 @@ let create () =
   { all = Fact.Set.empty;
     by_rel = Hashtbl.create 16;
     by_pos = Idx.create 64;
+    distinct = Hashtbl.create 16;
     adom = Value.Set.empty;
+    adom_count = 0;
     version = 0;
     cache = None }
 
@@ -70,10 +75,16 @@ let add db f =
           | None ->
               let c = { c_count = 0; c_facts = [] } in
               Idx.add db.by_pos key c;
+              (match Hashtbl.find_opt db.distinct (Fact.rel f, i) with
+              | Some n -> incr n
+              | None -> Hashtbl.add db.distinct (Fact.rel f, i) (ref 1));
               c
         in
         cell_add cell f;
-        db.adom <- Value.Set.add v db.adom)
+        if not (Value.Set.mem v db.adom) then begin
+          db.adom <- Value.Set.add v db.adom;
+          db.adom_count <- db.adom_count + 1
+        end)
       (Fact.tuple f)
   end
 
@@ -112,6 +123,16 @@ let schema db =
     Schema.empty (relations db)
 
 let active_domain db = db.adom
+let adom_size db = db.adom_count
+
+let distinct_count db rel pos =
+  match Hashtbl.find_opt db.distinct (rel, pos) with
+  | Some n -> !n
+  | None -> 0
+
+let arity_of db rel =
+  match facts_of db rel with [] -> None | f :: _ -> Some (Fact.arity f)
+
 let version db = db.version
 let get_cache db = db.cache
 let set_cache db c = db.cache <- Some c

@@ -24,6 +24,18 @@ val count_of : t -> string -> int
     at [pos] equals [v], read from the counted index cell in O(1). *)
 val index_count : t -> string -> int -> Value.t -> int
 
+(** [distinct_count db rel pos] is the number of distinct values occurring at
+    argument position [pos] of [rel], maintained incrementally (O(1) read).
+    Bounds the image of any variable at that position — the per-variable
+    domain statistics the static cost model ({!Analysis.Cost}) reads. *)
+val distinct_count : t -> string -> int -> int
+
+(** [|active_domain db|] in O(1). *)
+val adom_size : t -> int
+
+(** Arity of [rel]'s stored facts ([None] if the relation is empty). *)
+val arity_of : t -> string -> int option
+
 val relations : t -> string list
 val schema : t -> Schema.t
 

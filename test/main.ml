@@ -32,6 +32,7 @@ let () =
          ("reductions", Test_reductions.suite);
          ("sparql", Test_sparql.suite);
          ("analysis", Test_analysis.suite);
+         ("audit", Test_audit.suite);
          ("edge-cases", Test_edge_cases.suite);
          ("opt-semantics", Test_opt_semantics.suite);
          ("paper-claims", Test_paper_claims.suite) ])
