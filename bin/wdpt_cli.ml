@@ -132,12 +132,14 @@ let approximate_cmd =
 let optimize_cmd =
   let run query k relational data =
     let p = or_die (load_tree ~relational query) in
-    let pl = Wdpt.Optimizer.plan ~k p in
+    let db =
+      Option.map (fun path -> or_die (load_db ~relational path)) data
+    in
+    let pl = Wdpt.Optimizer.plan ?db ~k p in
     Format.printf "plan: %s@." (Wdpt.Optimizer.describe pl);
-    match data with
+    match db with
     | None -> ()
-    | Some path ->
-        let db = or_die (load_db ~relational path) in
+    | Some db ->
         let ans = Wdpt.Optimizer.eval pl db in
         Format.printf "%d answer(s)%s@."
           (Relational.Mapping.Set.cardinal ans)
@@ -229,7 +231,7 @@ let lint_cmd =
     Term.(const run $ query_arg $ json_arg $ format_arg $ relational_arg)
 
 let explain_cmd =
-  let run query data format relational =
+  let run query data format relational opt =
     let lint_ds = lint_source ~relational query in
     let fatal =
       List.exists
@@ -256,9 +258,17 @@ let explain_cmd =
     in
     let atoms = Cq.Query.body q in
     let plan = Engine.compile db atoms ~init:Relational.Mapping.empty in
+    (* --opt forces the pass pipeline even when WDPT_ENGINE_OPT=0 disabled it
+       at compile time (Engine.optimize is a no-op on optimized plans) *)
+    let plan = if opt then Engine.optimize plan else plan in
     let view = Engine.Inspect.plan plan in
     let audit_ds = Analysis.Plan_audit.audit_view view in
-    let ds = lint_ds @ audit_ds in
+    let equiv = if opt then Some (Analysis.Equiv.verify_trail plan) else None in
+    let dataflow = if opt then Some (Analysis.Dataflow.analyze view) else None in
+    let equiv_ds =
+      match equiv with None -> [] | Some r -> Analysis.Equiv.diagnostics r
+    in
+    let ds = lint_ds @ audit_ds @ equiv_ds in
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
     let tree_growth = Analysis.Cost.tree_growth p in
     (match format with
@@ -272,14 +282,23 @@ let explain_cmd =
                 [ ("local-tw", Analysis.Json.Int k); ("interface", Int c) ]
             | None -> []))
         in
+        let opt_fields =
+          match (equiv, dataflow) with
+          | Some r, Some df ->
+              [ ("optimization", Analysis.Equiv.report_json r);
+                ("dataflow", Analysis.Dataflow.to_json df) ]
+          | _ -> []
+        in
         Format.printf "%a@." Analysis.Json.pp
           (Analysis.Json.Obj
-             [ ("version", Int 1);
-               ("plan", Analysis.Plan_audit.view_json view);
-               ("audit", Analysis.Diagnostic.report_json ds);
-               ("cost", Analysis.Cost.to_json cost);
-               ("tree", tree_json);
-               ("exit-code", Int (Analysis.Diagnostic.exit_code ds)) ])
+             ([ ("version", Analysis.Json.Int 1);
+                ("plan", Analysis.Plan_audit.view_json view);
+                ("audit", Analysis.Diagnostic.report_json ds) ]
+             @ opt_fields
+             @ [ ("cost", Analysis.Cost.to_json cost);
+                 ("tree", tree_json);
+                 ( "exit-code",
+                   Analysis.Json.Int (Analysis.Diagnostic.exit_code ds) ) ]))
     | `Text ->
         Format.printf "@[<v>plan:@,%a@]@." Analysis.Plan_audit.pp_view view;
         if ds = [] then Format.printf "audit: clean@."
@@ -287,6 +306,14 @@ let explain_cmd =
           Format.printf "audit:@.";
           List.iter (Format.printf "  %a@." Analysis.Diagnostic.pp) ds
         end;
+        (match equiv with
+        | Some r ->
+            Format.printf "@[<v>optimization:@,%a@]@." Analysis.Equiv.pp_report r
+        | None -> ());
+        (match dataflow with
+        | Some df ->
+            Format.printf "@[<v>dataflow:@,%a@]@." Analysis.Dataflow.pp df
+        | None -> ());
         Format.printf "@[<v>cost:@,%a@]@." Analysis.Cost.pp cost;
         Format.printf "tree: %a%s@." Analysis.Cost.pp_growth tree_growth
           (match Analysis.Cost.tree_class p with
@@ -301,13 +328,24 @@ let explain_cmd =
              ~doc:"Data to compile against; defaults to the query's canonical \
                    database.")
   in
+  let opt_arg =
+    Arg.(value & flag
+         & info [ "opt" ]
+             ~doc:"Run the optimization pass pipeline, verify every pass \
+                   certificate (translation validation, E007-E010) and print \
+                   the pass trail plus the dataflow summary of the optimized \
+                   plan.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Compile the query and print the engine plan, the static audit \
              verdict (E-series diagnostics over the IR) and width-based cost \
-             bounds. Exit codes match $(b,lint): 0 = clean, 1 = warnings, 2 \
+             bounds. With $(b,--opt), also the optimization pass trail with \
+             per-pass translation-validation verdicts and the dataflow \
+             summary. Exit codes match $(b,lint): 0 = clean, 1 = warnings, 2 \
              = errors.")
-    Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg)
+    Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg
+          $ opt_arg)
 
 let check_cmd =
   let run query relational =

@@ -4,8 +4,17 @@
    instances, printing the offending seed on any disagreement.
 
    Usage: wdpt_fuzz [SECONDS] [SEED]
+          wdpt_fuzz --opt-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
-   pins it so failures reproduce), defaulting to the current time. *)
+   pins it so failures reproduce), defaulting to the current time.
+
+   --opt-diff COUNT runs the optimizer differential instead: on COUNT
+   (default 500) random instances it evaluates once with the engine's
+   optimization pass pipeline disabled and once with it enabled — the answer
+   sets must be identical at both the WDPT and the CQ level — and
+   translation-validates every optimized plan's certificate trail
+   (Analysis.Equiv, zero E007-E010 expected). Count-based rather than
+   time-based so a pinned seed always covers the same instances. *)
 
 open Relational
 
@@ -90,7 +99,81 @@ let check_instance p db =
     (probes reference);
   !failures
 
+(* ---- optimizer differential --------------------------------------------- *)
+
+(* One instance of the --opt-diff mode: same answers with the pass pipeline
+   off and on (at both semantics levels), and a clean certificate trail. *)
+let check_opt_diff p db =
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let with_opt b f =
+    Engine.set_optimize b;
+    Fun.protect ~finally:(fun () -> Engine.set_optimize true) f
+  in
+  let plain = with_opt false (fun () -> Wdpt.Semantics.eval db p) in
+  let opt = with_opt true (fun () -> Wdpt.Semantics.eval db p) in
+  if not (Mapping.Set.equal plain opt) then fail "wdpt-eval-opt-vs-unopt";
+  let q = Wdpt.Pattern_tree.q_full p in
+  let cq_plain = with_opt false (fun () -> Cq.Eval.answers db q) in
+  let cq_opt = with_opt true (fun () -> Cq.Eval.answers db q) in
+  if not (Mapping.Set.equal cq_plain cq_opt) then fail "cq-eval-opt-vs-unopt";
+  let plan = Engine.compile db (Cq.Query.body q) ~init:Mapping.empty in
+  let report = Analysis.Equiv.verify_trail plan in
+  if not report.Analysis.Equiv.r_verified then begin
+    fail "certificate-trail";
+    List.iter
+      (fun d ->
+        Printf.printf "    %s\n%!"
+          (Analysis.Diagnostic.code_id d.Analysis.Diagnostic.code))
+      (Analysis.Equiv.diagnostics report)
+  end;
+  !failures
+
+(* The differential does not run the quadratic brute-force oracle, only the
+   production evaluators (one enumeration per subtree), so it can afford a
+   much larger per-instance budget than brute_force_feasible — but it still
+   needs one: the evaluators are worst-case exponential in the variable
+   count, and an unlucky draw otherwise eats gigabytes. *)
+let opt_diff_feasible p db =
+  let nvars = String_set.cardinal (Wdpt.Pattern_tree.vars p) in
+  let adom = max 2 (Database.adom_size db) in
+  float_of_int nvars *. log (float_of_int adom) <= log 1e6
+
+let opt_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  (* skip oversized draws but keep advancing the seed until COUNT instances
+     have actually been checked, so the pinned CI run always covers the full
+     count *)
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      match check_opt_diff p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "opt-diff: %d instance(s) from seed %d (%d oversized skipped): %d failure(s)\n"
+    count seed0 !skipped !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--opt-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 500
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    opt_diff_main count seed0
+  end;
   let seconds =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0
   in

@@ -1,0 +1,231 @@
+(* Abstract interpretation over the compiled engine IR.
+
+   The analyzer walks the static atom order of a plan view and computes, per
+   instruction, what is knowable without touching stored tuples: which slots
+   are definitely bound (definite initialization), what interned id each slot
+   can hold (a constant/interval lattice seeded from initial bindings and
+   narrowed by the per-position stored-id ranges the view carries), which
+   slots are live (read by a later instruction or read back at exit), and a
+   sound per-atom bound on the candidate rows the matching loop can visit.
+
+   Everything is O(plan size): the only database-derived inputs are the
+   per-atom summary statistics (row counts, distinct counts, id ranges)
+   already snapshotted into the view. The results feed the optimizer's
+   justifications, the [explain --opt] CLI and the soundness properties in
+   the test suite (every enumerated environment lies inside the computed
+   facts). *)
+
+module I = Engine.Inspect
+
+(* value lattice over interned ids:
+   Unbound < Const < Interval < Any, with Never as bottom-of-contradiction *)
+type fact =
+  | Unbound            (* slot definitely not yet written *)
+  | Const of int       (* slot bound, id known exactly *)
+  | Interval of { lo : int; hi : int }  (* slot bound, id within [lo, hi] *)
+  | Any                (* slot bound, nothing known about the id *)
+  | Never              (* contradiction: this program point is unreachable *)
+
+let pp_fact ppf = function
+  | Unbound -> Format.fprintf ppf "unbound"
+  | Const id -> Format.fprintf ppf "= #%d" id
+  | Interval { lo; hi } -> Format.fprintf ppf "in [#%d, #%d]" lo hi
+  | Any -> Format.fprintf ppf "bound"
+  | Never -> Format.fprintf ppf "never"
+
+(* narrow a bound-side fact by a position's stored range [lo, hi] *)
+let narrow fact lo hi =
+  if hi < lo then Never  (* the relation stores nothing at this position *)
+  else
+    match fact with
+    | Never -> Never
+    | Unbound | Any -> if lo = hi then Const lo else Interval { lo; hi }
+    | Const id -> if id < lo || id > hi then Never else Const id
+    | Interval { lo = l; hi = h } ->
+        let l = max l lo and h = min h hi in
+        if h < l then Never else if l = h then Const l else Interval { lo = l; hi = h }
+
+let fact_bound = function
+  | Unbound -> false
+  | Const _ | Interval _ | Any | Never -> true
+
+(* [admits fact id]: could the slot hold [id]? Soundness: if the analyzer
+   says no, no enumerated environment ever binds the slot to [id]. *)
+let admits fact id =
+  match fact with
+  | Unbound | Any -> true
+  | Const c -> c = id
+  | Interval { lo; hi } -> lo <= id && id <= hi
+  | Never -> false
+
+type step = {
+  st_atom : int;  (* atom index (into the view's atoms) at this order position *)
+  st_bound_before : bool array;  (* per slot: definitely bound on entry *)
+  st_facts_before : fact array;
+  st_writes : int list;  (* slots this atom definitely binds first *)
+  st_rows_max : int;  (* sound candidate-row bound: stored rows, 0 if the
+                         atom provably matches nothing *)
+  st_rows_est : float;  (* log10 selectivity estimate under current facts *)
+}
+
+type t = {
+  order : int array;
+  steps : step array;  (* one per order position *)
+  facts_after : fact array;  (* per slot, at exit *)
+  bound_after : bool array;
+  live : bool array;  (* read by some instruction, or read back at exit *)
+  dead_slots : int list;  (* untouched slots, ascending *)
+  all_bound : bool;  (* every slot definitely bound at exit *)
+  search_bound : float;  (* log10 of the product of per-atom row bounds *)
+  infeasible : bool;  (* some atom provably matches nothing *)
+}
+
+let analyze (v : I.view) =
+  let nslots = Array.length v.i_slots in
+  let facts =
+    Array.init nslots (fun s ->
+        if s < Array.length v.i_env && v.i_env.(s) >= 0 then Const v.i_env.(s)
+        else Unbound)
+  in
+  let infeasible = ref (not v.i_feasible) in
+  let steps =
+    Array.map
+      (fun ai ->
+        let av = v.i_atoms.(ai) in
+        let bound_before = Array.map fact_bound facts in
+        let facts_before = Array.copy facts in
+        let writes = ref [] in
+        let empty = ref false in
+        let est = ref (log10 (float_of_int (max 1 av.I.a_rows))) in
+        if av.I.a_rows = 0 then empty := true;
+        Array.iteri
+          (fun pos op ->
+            let lo, hi =
+              if pos < Array.length av.I.a_ranges then av.I.a_ranges.(pos)
+              else (0, -1)
+            in
+            let dcount =
+              if pos < Array.length av.I.a_dcounts then av.I.a_dcounts.(pos)
+              else 0
+            in
+            let discount () =
+              if dcount > 0 then est := !est -. log10 (float_of_int dcount)
+            in
+            match op with
+            | Engine.Check id ->
+                (* the checked constant must be storable at this position *)
+                if id < lo || id > hi then empty := true;
+                discount ()
+            | Engine.Slot s when s >= 0 && s < nslots ->
+                let before = facts.(s) in
+                if fact_bound before then discount ();
+                let after = narrow before lo hi in
+                if after = Never then empty := true;
+                if not (fact_bound before) then writes := s :: !writes;
+                facts.(s) <- (if after = Never then Any else after)
+            | Engine.Slot _ -> ()  (* out of range: E001 territory, skip *))
+          av.I.a_ops;
+        if !empty then infeasible := true;
+        { st_atom = ai;
+          st_bound_before = bound_before;
+          st_facts_before = facts_before;
+          st_writes = List.rev !writes;
+          st_rows_max = (if !empty then 0 else av.I.a_rows);
+          st_rows_est = (if !empty then neg_infinity else !est) })
+      v.i_order
+  in
+  (* backward liveness: a slot is live if some instruction reads or writes it
+     (every Slot instruction both filters and binds), or if it is read back
+     at exit — i.e. it is not an init-bound pass-through. The complement,
+     slots no instruction touches, is exactly what dead-slot elimination may
+     drop. *)
+  let touched = Array.make (max 1 nslots) false in
+  Array.iter
+    (fun (av : I.atom_view) ->
+      Array.iter
+        (function
+          | Engine.Slot s when s >= 0 && s < nslots -> touched.(s) <- true
+          | _ -> ())
+        av.I.a_ops)
+    v.i_atoms;
+  let live = Array.copy touched in
+  let dead_slots = ref [] in
+  for s = nslots - 1 downto 0 do
+    if not touched.(s) then dead_slots := s :: !dead_slots
+  done;
+  let bound_after = Array.map fact_bound facts in
+  let all_bound = Array.for_all Fun.id bound_after in
+  let search_bound =
+    Array.fold_left
+      (fun acc st ->
+        if st.st_rows_max = 0 then neg_infinity
+        else acc +. log10 (float_of_int st.st_rows_max))
+      0.0 steps
+  in
+  { order = Array.copy v.i_order;
+    steps;
+    facts_after = facts;
+    bound_after;
+    live;
+    dead_slots = !dead_slots;
+    all_bound;
+    search_bound;
+    infeasible = !infeasible }
+
+let fact_of_slot t s =
+  if s >= 0 && s < Array.length t.facts_after then t.facts_after.(s) else Any
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let fact_json = function
+  | Unbound -> Json.Obj [ ("state", Str "unbound") ]
+  | Const id -> Json.Obj [ ("state", Str "const"); ("id", Int id) ]
+  | Interval { lo; hi } ->
+      Json.Obj [ ("state", Str "interval"); ("lo", Int lo); ("hi", Int hi) ]
+  | Any -> Json.Obj [ ("state", Str "any") ]
+  | Never -> Json.Obj [ ("state", Str "never") ]
+
+let to_json t =
+  Json.Obj
+    [ ( "steps",
+        List
+          (Array.to_list
+             (Array.map
+                (fun st ->
+                  Json.Obj
+                    [ ("atom", Int st.st_atom);
+                      ( "bound-before",
+                        Int
+                          (Array.fold_left
+                             (fun n b -> if b then n + 1 else n)
+                             0 st.st_bound_before) );
+                      ("writes", List (List.map (fun s -> Json.Int s) st.st_writes));
+                      ("rows-max", Int st.st_rows_max);
+                      ("rows-est-log10", Float st.st_rows_est) ])
+                t.steps)) );
+      ( "facts",
+        List (Array.to_list (Array.map fact_json t.facts_after)) );
+      ("dead-slots", List (List.map (fun s -> Json.Int s) t.dead_slots));
+      ("all-bound", Bool t.all_bound);
+      ("search-bound-log10", Float t.search_bound);
+      ("infeasible", Bool t.infeasible) ]
+
+let pp ppf t =
+  Format.fprintf ppf "%d step(s), %s, search bound 10^%.2f%s"
+    (Array.length t.steps)
+    (if t.all_bound then "all slots bound at exit" else "some slot may stay unbound")
+    t.search_bound
+    (if t.infeasible then " — PROVABLY EMPTY" else "");
+  Array.iteri
+    (fun k st ->
+      Format.fprintf ppf "@,  [%d] atom %d: %d slot(s) bound on entry, writes {%s}, rows <= %d (est 10^%.2f)"
+        k st.st_atom
+        (Array.fold_left (fun n b -> if b then n + 1 else n) 0 st.st_bound_before)
+        (String.concat "," (List.map string_of_int st.st_writes))
+        st.st_rows_max st.st_rows_est)
+    t.steps;
+  match t.dead_slots with
+  | [] -> ()
+  | ds ->
+      Format.fprintf ppf "@,  dead slot(s): %s"
+        (String.concat ", " (List.map string_of_int ds))

@@ -1,0 +1,67 @@
+(** Abstract interpretation over the compiled engine IR
+    ({!Engine.Inspect.view}).
+
+    One forward pass over the plan's static atom order computes, per
+    instruction position: definite initialization (which slots are certainly
+    bound), a constant/interval fact per slot on interned ids (seeded from
+    initial bindings, narrowed by the stored id range of every position a
+    slot flows through), the slots each atom binds first, and a sound bound
+    on the candidate rows the matching loop can visit at that atom. A
+    liveness summary identifies dead slots (touched by no instruction — what
+    dead-slot elimination may drop).
+
+    All of it is O(plan size): only the view's summary statistics (row
+    counts, distinct counts, id ranges) are read, never a stored tuple.
+
+    Soundness contracts, exercised by the test suite:
+    - if a slot's exit fact does not {!admits} an id, no enumerated
+      environment binds the slot to that id;
+    - if [infeasible] is set, the plan enumerates nothing;
+    - the number of solutions never exceeds [10 ** search_bound];
+    - on a feasible plan every slot is bound at exit ([all_bound]). *)
+
+(** Per-slot knowledge at a program point. *)
+type fact =
+  | Unbound  (** definitely not yet written *)
+  | Const of int  (** bound, id known exactly *)
+  | Interval of { lo : int; hi : int }  (** bound, id within the range *)
+  | Any  (** bound, id unknown *)
+  | Never  (** contradiction — the program point is unreachable *)
+
+val pp_fact : Format.formatter -> fact -> unit
+
+(** Could the slot hold interned id [id]? [false] is a proof. *)
+val admits : fact -> int -> bool
+
+(** One entry per static-order position. *)
+type step = {
+  st_atom : int;  (** atom index at this position *)
+  st_bound_before : bool array;  (** per slot: definitely bound on entry *)
+  st_facts_before : fact array;
+  st_writes : int list;  (** slots this atom binds first *)
+  st_rows_max : int;  (** sound candidate-row bound (0 = provably empty) *)
+  st_rows_est : float;  (** log10 estimate refined by bound-slot discounts *)
+}
+
+type t = {
+  order : int array;
+  steps : step array;
+  facts_after : fact array;  (** per slot, at exit *)
+  bound_after : bool array;
+  live : bool array;
+  dead_slots : int list;  (** slots touched by no instruction, ascending *)
+  all_bound : bool;
+  search_bound : float;  (** log10 of the product of per-atom row bounds *)
+  infeasible : bool;
+}
+
+val analyze : Engine.Inspect.view -> t
+
+(** Exit fact of a slot ([Any] for out-of-range slots). *)
+val fact_of_slot : t -> int -> fact
+
+val to_json : t -> Json.t
+
+(** Multi-line; boxed by the caller (same convention as
+    {!Plan_audit.pp_view}). *)
+val pp : Format.formatter -> t -> unit

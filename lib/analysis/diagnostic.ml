@@ -18,6 +18,10 @@ type code =
   | Dead_slot
   | Order_inversion
   | Stale_plan
+  | Slot_renaming
+  | Dropped_check
+  | Reorder_violation
+  | Cert_mismatch
 
 let code_id = function
   | Parse_error -> "S001"
@@ -34,6 +38,10 @@ let code_id = function
   | Dead_slot -> "E004"
   | Order_inversion -> "E005"
   | Stale_plan -> "E006"
+  | Slot_renaming -> "E007"
+  | Dropped_check -> "E008"
+  | Reorder_violation -> "E009"
+  | Cert_mismatch -> "E010"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -50,6 +58,10 @@ let code_name = function
   | Dead_slot -> "dead-slot"
   | Order_inversion -> "atom-order-inversion"
   | Stale_plan -> "stale-plan-cache"
+  | Slot_renaming -> "unjustified-slot-renaming"
+  | Dropped_check -> "dropped-check"
+  | Reorder_violation -> "reorder-violates-dependency"
+  | Cert_mismatch -> "certificate-plan-mismatch"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -57,6 +69,7 @@ let code_severity = function
   | Class_membership -> Hint
   | Uninit_slot_read | Interner_range | Plan_arity_mismatch | Stale_plan -> Error
   | Dead_slot | Order_inversion -> Warning
+  | Slot_renaming | Dropped_check | Reorder_violation | Cert_mismatch -> Error
 
 type witness =
   | Disconnected of { variable : string; top : int; stray : int; broken_at : int }
@@ -78,8 +91,21 @@ type witness =
   | Id_range of { site : string; id : int; pool : int }
   | Plan_arity of { atom : int; relation : string; ops : int; arity : int; index : int }
   | Dead_slot_of of { slot : int; variable : string }
-  | Inversion of { first : int; rows_first : int; second : int; rows_second : int }
+  | Inversion of {
+      first : int;
+      rows_first : int;
+      score_first : float;
+      ground_first : bool;
+      second : int;
+      rows_second : int;
+      score_second : float;
+      ground_second : bool;
+    }
   | Stale of { compiled : int; live : int }
+  | Renamed of { pass : string; slot : int; variable : string; target : int }
+  | Dropped of { pass : string; atom : int; pos : int; before : string; after : string }
+  | Reordered of { pass : string; position : int; atom : int; detail : string }
+  | Cert of { pass : string; field : string; detail : string }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -183,15 +209,53 @@ let witness_json w =
           ("indexes", Int index) ]
   | Dead_slot_of { slot; variable } ->
       kind "dead-slot" [ ("slot", Int slot); ("variable", Str variable) ]
-  | Inversion { first; rows_first; second; rows_second } ->
+  | Inversion
+      { first;
+        rows_first;
+        score_first;
+        ground_first;
+        second;
+        rows_second;
+        score_second;
+        ground_second } ->
       kind "atom-order-inversion"
         [ ( "earlier",
-            Obj [ ("atom", Int first); ("rows", Int rows_first) ] );
+            Obj
+              [ ("atom", Int first);
+                ("rows", Int rows_first);
+                ("score", Float score_first);
+                ("ground", Bool ground_first) ] );
           ( "later",
-            Obj [ ("atom", Int second); ("rows", Int rows_second) ] ) ]
+            Obj
+              [ ("atom", Int second);
+                ("rows", Int rows_second);
+                ("score", Float score_second);
+                ("ground", Bool ground_second) ] ) ]
   | Stale { compiled; live } ->
       kind "stale-plan-cache"
         [ ("compiled-version", Int compiled); ("live-version", Int live) ]
+  | Renamed { pass; slot; variable; target } ->
+      kind "unjustified-slot-renaming"
+        [ ("pass", Str pass);
+          ("slot", Int slot);
+          ("variable", Str variable);
+          ("target", if target < 0 then Json.Null else Int target) ]
+  | Dropped { pass; atom; pos; before; after } ->
+      kind "dropped-check"
+        [ ("pass", Str pass);
+          ("atom", Int atom);
+          ("position", if pos < 0 then Json.Null else Int pos);
+          ("before", Str before);
+          ("after", Str after) ]
+  | Reordered { pass; position; atom; detail } ->
+      kind "reorder-violates-dependency"
+        [ ("pass", Str pass);
+          ("position", Int position);
+          ("atom", Int atom);
+          ("detail", Str detail) ]
+  | Cert { pass; field; detail } ->
+      kind "certificate-plan-mismatch"
+        [ ("pass", Str pass); ("field", Str field); ("detail", Str detail) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

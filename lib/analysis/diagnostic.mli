@@ -34,9 +34,26 @@
     - [E004 dead-slot] — a slot in the slot table that no instruction reads
       or writes and that carries no initial binding (warning);
     - [E005 atom-order-inversion] — the static atom order contradicts the
-      stored relation counts it was derived from (warning);
+      (ground, selectivity) key it was derived from (warning);
     - [E006 stale-plan-cache] — the plan's compiled database snapshot is
-      older than the live database's version counter (error). *)
+      older than the live database's version counter (error).
+
+    The E007–E010 codes are findings of the translation-validation checker
+    ({!Equiv}) over optimization-pass certificates:
+
+    - [E007 unjustified-slot-renaming] — the certificate's slot map renames a
+      slot to a different variable, changes its initial binding, or drops a
+      slot some instruction still touches (error);
+    - [E008 dropped-check] — a [Check] constant changed or vanished without a
+      fold justification, or an atom was dropped without a surviving
+      duplicate or a confirmed stored-row witness (error);
+    - [E009 reorder-violates-dependency] — a pass not flagged as reordering
+      changed the static order, or a reordering pass broke the (ground,
+      selectivity) discipline (error);
+    - [E010 certificate-plan-mismatch] — the certificate is structurally
+      inconsistent with the before/after plans: wrong map lengths, targets
+      out of range, non-injective maps, invented atoms or slots, changed
+      pool or feasibility, or claimed scores that do not recompute (error). *)
 
 open Relational
 
@@ -57,6 +74,10 @@ type code =
   | Dead_slot  (** E004 *)
   | Order_inversion  (** E005 *)
   | Stale_plan  (** E006 *)
+  | Slot_renaming  (** E007 *)
+  | Dropped_check  (** E008 *)
+  | Reorder_violation  (** E009 *)
+  | Cert_mismatch  (** E010 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -119,10 +140,34 @@ type witness =
   | Inversion of {
       first : int;  (** plan index of the earlier atom *)
       rows_first : int;
-      second : int;  (** plan index of the later, smaller atom *)
+      score_first : float;  (** its selectivity score ({!Engine.selectivity}) *)
+      ground_first : bool;
+      second : int;  (** plan index of the later atom with the smaller key *)
       rows_second : int;
+      score_second : float;
+      ground_second : bool;
     }  (** E005 *)
   | Stale of { compiled : int; live : int }  (** E006: version counters *)
+  | Renamed of {
+      pass : string;
+      slot : int;  (** before-plan slot *)
+      variable : string;  (** its variable name in the before plan *)
+      target : int;  (** mapped after-plan slot, [-1] = dropped *)
+    }  (** E007 *)
+  | Dropped of {
+      pass : string;
+      atom : int;  (** before-plan atom index *)
+      pos : int;  (** instruction position, [-1] = the whole atom *)
+      before : string;  (** rendered before state *)
+      after : string;  (** rendered after state / drop claim *)
+    }  (** E008 *)
+  | Reordered of {
+      pass : string;
+      position : int;  (** index into the after static order *)
+      atom : int;  (** after-plan atom at that position *)
+      detail : string;
+    }  (** E009 *)
+  | Cert of { pass : string; field : string; detail : string }  (** E010 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

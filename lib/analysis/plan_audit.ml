@@ -152,9 +152,14 @@ let check_dead_slots (v : I.view) acc =
   done;
   !out
 
-(* E005: the static order must be a permutation sorted by stored row counts
-   (ascending) — the invariant the compiler establishes and the dynamic
-   selection's tie-breaking relies on. *)
+(* E005: the static order must be a permutation sorted ascending by the
+   (ground, selectivity) key — the invariant the compiler establishes and the
+   selectivity-reorder pass re-establishes after constant folding. The key is
+   recomputed here from the view's row counts and distinct counts, not read
+   from anywhere the optimizer wrote. *)
+let atom_order_key (av : I.atom_view) =
+  Engine.order_key ~rows:av.I.a_rows ~dcounts:av.I.a_dcounts av.I.a_ops
+
 let check_order (v : I.view) acc =
   let n = Array.length v.i_atoms in
   let order = v.i_order in
@@ -176,7 +181,14 @@ let check_order (v : I.view) acc =
     d
       ~witness:
         (Diagnostic.Inversion
-           { first = -1; rows_first = 0; second = -1; rows_second = 0 })
+           { first = -1;
+             rows_first = 0;
+             score_first = 0.;
+             ground_first = false;
+             second = -1;
+             rows_second = 0;
+             score_second = 0.;
+             ground_second = false })
       Diagnostic.Order_inversion
       (Printf.sprintf "static order (%d entries) is not a permutation of the %d atom(s)"
          (Array.length order) n)
@@ -185,17 +197,30 @@ let check_order (v : I.view) acc =
     let out = ref acc in
     for i = n - 2 downto 0 do
       let a = order.(i) and b = order.(i + 1) in
-      let ra = v.i_atoms.(a).I.a_rows and rb = v.i_atoms.(b).I.a_rows in
-      if ra > rb then
+      let ga, sa = atom_order_key v.i_atoms.(a)
+      and gb, sb = atom_order_key v.i_atoms.(b) in
+      if compare (ga, sa) (gb, sb) > 0 then
         out :=
           d
             ~witness:
               (Diagnostic.Inversion
-                 { first = a; rows_first = ra; second = b; rows_second = rb })
+                 { first = a;
+                   rows_first = v.i_atoms.(a).I.a_rows;
+                   score_first = sa;
+                   ground_first = ga = 0;
+                   second = b;
+                   rows_second = v.i_atoms.(b).I.a_rows;
+                   score_second = sb;
+                   ground_second = gb = 0 })
             Diagnostic.Order_inversion
             (Printf.sprintf
-               "static order places atom %d (%d rows) before atom %d (%d rows)" a
-               ra b rb)
+               "static order places atom %d (%s, score %.3f) before atom %d \
+                (%s, score %.3f)"
+               a
+               (if ga = 0 then "ground" else "non-ground")
+               sa b
+               (if gb = 0 then "ground" else "non-ground")
+               sb)
           :: !out
     done;
     !out
@@ -260,6 +285,15 @@ let view_json (v : I.view) =
                       ("relation", Str av.I.a_rel);
                       ("arity", Int av.I.a_arity);
                       ("rows", Int av.I.a_rows);
+                      ( "distinct",
+                        List
+                          (Array.to_list
+                             (Array.map (fun c -> Json.Int c) av.I.a_dcounts)) );
+                      ( "score",
+                        Float
+                          (Engine.selectivity ~rows:av.I.a_rows
+                             ~dcounts:av.I.a_dcounts av.I.a_ops) );
+                      ("ground", Bool (Engine.ground av.I.a_ops));
                       ("ops", List (Array.to_list (Array.map op_json av.I.a_ops))) ])
                 v.i_atoms)) );
       ("order", List (Array.to_list (Array.map (fun i -> Json.Int i) v.i_order)));
@@ -285,8 +319,10 @@ let pp_view ppf (v : I.view) =
   Array.iteri
     (fun k ai ->
       let av = v.i_atoms.(ai) in
-      Format.fprintf ppf "  [%d] %a  %s/%d, %d row(s): %a@," k pp_atom av
-        av.I.a_rel av.I.a_arity av.I.a_rows
+      Format.fprintf ppf "  [%d] %a  %s/%d, %d row(s), score %.3f%s: %a@," k
+        pp_atom av av.I.a_rel av.I.a_arity av.I.a_rows
+        (Engine.selectivity ~rows:av.I.a_rows ~dcounts:av.I.a_dcounts av.I.a_ops)
+        (if Engine.ground av.I.a_ops then ", ground" else "")
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
            (pp_op v.i_slots))

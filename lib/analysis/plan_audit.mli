@@ -13,7 +13,9 @@
     - [E004 dead-slot] — a slot no instruction touches and no initial binding
       fills;
     - [E005 atom-order-inversion] — the static atom order is not a
-      permutation sorted ascending by stored row counts;
+      permutation sorted ascending by the (ground, selectivity) key
+      ({!Engine.order_key}: ground atoms first, then ascending
+      distinct-count-discounted row estimate);
     - [E006 stale-plan-cache] — compiled database snapshot older than the
       live version counter.
 

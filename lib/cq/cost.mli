@@ -18,18 +18,17 @@
 
     The answer bound additionally projects onto the free variables.
 
-    The CQ-level core lives in {!Cq.Cost} (so {!Wdpt.Optimizer} can use it
-    for per-instance strategy selection without a dependency cycle); the
-    type equations below make the two interchangeable. This module adds the
-    WDPT tree classification and JSON rendering. *)
+    This module is the CQ-level core consumed by {!Wdpt.Optimizer} for
+    per-instance strategy selection; [Analysis.Cost] re-exports it and adds
+    the WDPT tree classification and JSON rendering. *)
 
 open Relational
 
-type growth = Cq.Cost.growth =
+type growth =
   | Polynomial of int  (** degree bound in the database size *)
   | Exponential  (** saturated regime: width does not beat [|adom|^nvars] *)
 
-type t = Cq.Cost.t = {
+type t = {
   natoms : int;
   nvars : int;
   nfree : int;
@@ -55,16 +54,7 @@ val analyze : Database.t -> Atom.t list -> free:string list -> t
     comparable against a measured answer count. *)
 val bound_count : t -> int
 
-(** Least [(k, c)] with [p ∈ ℓ-TW(k) ∩ BI(c)] within the caps (defaults 3
-    and 3), the paper's tractability condition (Theorem 1 / Proposition 2);
-    [None] if the tree falls outside the capped fragments. *)
-val tree_class : ?k_max:int -> ?c_max:int -> Wdpt.Pattern_tree.t -> (int * int) option
-
-(** [Polynomial (k + 2c + 1)] via {!tree_class} (Proposition 2's width
-    [k + 2c] decomposition), else [Exponential]. *)
-val tree_growth : ?k_max:int -> ?c_max:int -> Wdpt.Pattern_tree.t -> growth
-
-val growth_json : growth -> Json.t
-val to_json : t -> Json.t
-val pp_growth : Format.formatter -> growth -> unit
-val pp : Format.formatter -> t -> unit
+(** log10 of the per-bag materialization cost [(treewidth+1) · log10 |adom|]
+    a tree-decomposition evaluation pays — the quantity strategy selection
+    compares against the backtracking bounds. *)
+val decomp_eval_bound : t -> float

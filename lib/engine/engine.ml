@@ -35,6 +35,9 @@ module Db = struct
     arity : int;
     tuples : Tuple.t array;
     index : (int, cell) Hashtbl.t array;  (* per position: value id -> cell *)
+    dcounts : int array;   (* per position: number of distinct value ids *)
+    ranges : (int * int) array;
+        (* per position: (min, max) stored value id; (0, -1) when empty *)
   }
 
   (* compiled plan cores are cached here keyed by atom list; the payload
@@ -101,7 +104,17 @@ module Db = struct
                 cell.acc <- [])
               tbl)
           index;
-        Hashtbl.add rels (name, arity) { name; arity; tuples; index })
+        (* per-position statistics, read by selectivity scoring and the
+           dataflow analyzer: distinct counts and stored id ranges *)
+        let dcounts = Array.map Hashtbl.length index in
+        let ranges =
+          Array.init arity (fun pos ->
+              Hashtbl.fold
+                (fun v _ (lo, hi) ->
+                  if hi < lo then (v, v) else (min lo v, max hi v))
+                index.(pos) (0, -1))
+        in
+        Hashtbl.add rels (name, arity) { name; arity; tuples; index; dcounts; ranges })
       buckets;
     { pool; rels; db_version = Database.version db; plans = No_plans }
 
@@ -133,6 +146,68 @@ type atom_plan = {
   a_ops : op array;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Selectivity scoring and the static order invariant                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [selectivity ~rows ~dcounts ops] estimates log10 of the candidate rows an
+   instruction sequence leaves after its Check instructions filter, under the
+   uniformity assumption: each Check at position [pos] keeps a 1/dcount(pos)
+   fraction of the stored rows. Empty relations score -inf. This is the
+   ranking the static order sorts by, audited by Plan_audit E005 and the
+   checked interpreter. *)
+let selectivity ~rows ~dcounts ops =
+  if rows = 0 then neg_infinity
+  else begin
+    let s = ref (log10 (float_of_int rows)) in
+    Array.iteri
+      (fun pos op ->
+        match op with
+        | Check _ ->
+            let d = if pos < Array.length dcounts then dcounts.(pos) else 1 in
+            if d > 0 then s := !s -. log10 (float_of_int d)
+        | Slot _ -> ())
+      ops;
+    !s
+  end
+
+let ground ops = Array.for_all (function Check _ -> true | Slot _ -> false) ops
+
+(* lexicographic static-order key: ground atoms first (they filter to a
+   constant-time membership check), then ascending selectivity score *)
+let order_key ~rows ~dcounts ops =
+  ((if ground ops then 0 else 1), selectivity ~rows ~dcounts ops)
+
+let atom_score (ap : atom_plan) =
+  selectivity ~rows:(Array.length ap.a_rel.Db.tuples)
+    ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
+
+let atom_key (ap : atom_plan) =
+  order_key ~rows:(Array.length ap.a_rel.Db.tuples)
+    ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
+
+(* ------------------------------------------------------------------ *)
+(* Translation-validation certificates                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* why an optimization pass dropped an atom *)
+type drop =
+  | Duplicate_of of int   (* exact duplicate of this (kept) before-atom *)
+  | Ground_matched of int (* all-Check atom satisfied by this stored row *)
+
+(* plain-data certificate emitted by every optimization pass: the before ->
+   after mapping of slots and atoms plus the facts justifying each rewrite.
+   Analysis.Equiv re-checks all of it in O(plan); nothing here is trusted. *)
+type cert = {
+  cert_pass : string;          (* pass name, e.g. "constant-fold" *)
+  cert_reorders : bool;        (* pass is allowed to permute the static order *)
+  cert_slot_map : int array;   (* before slot -> after slot, -1 = dropped *)
+  cert_atom_map : int array;   (* before atom -> after atom, -1 = dropped *)
+  cert_folds : (int * int) array;  (* (before slot, interned id) folded *)
+  cert_drops : (int * drop) array; (* (before atom, justification) *)
+  cert_scores : float array;   (* claimed selectivity per after-atom *)
+}
+
 (* the init-independent part of a plan, cached on the compiled database
    keyed by the atom list — repeated evaluation of the same body under
    different partial bindings (the shape of every loop in lib/wdpt) pays
@@ -140,7 +215,8 @@ type atom_plan = {
 type core = {
   c_vars : string Interner.t;
   c_atoms : atom_plan array;  (* [||] when statically infeasible *)
-  c_order : int array;        (* static atom order: ascending stored row count *)
+  c_order : int array;        (* static atom order: ground first, then
+                                 ascending selectivity score *)
   c_feasible : bool;
 }
 
@@ -154,7 +230,16 @@ type t = {
   init : Mapping.t;
   src_atoms : Atom.t list;   (* the compiled atom list, for inspection *)
   src_db : Database.t;       (* the database the plan was compiled against *)
+  provenance : provenance;
 }
+
+(* how the plan came to be: straight out of [compile], or rewritten by the
+   optimization pipeline. Each stage records the plan BEFORE that pass ran
+   together with the pass's certificate, so Analysis.Equiv can replay the
+   whole trail and the engine can fall back to the unoptimized original. *)
+and provenance =
+  | Compiled
+  | Optimized of { stages : (t * cert) list }
 
 type plan_tbl = {
   p_tbl : (Atom.t list, core) Hashtbl.t;
@@ -199,15 +284,17 @@ let build_core cdb atom_list =
   let atoms =
     if !feasible then Array.of_list (List.map Option.get atoms) else [||]
   in
-  (* static atom order: smallest relations first (stable). The runtime
-     selection is still dynamic (fewest candidates under the current env);
-     this only fixes the initial arrangement and tie-breaking, and gives the
-     plan a statically auditable order invariant. *)
+  (* static atom order: ground atoms first, then ascending selectivity score
+     (stable). The runtime selection is still dynamic (fewest candidates
+     under the current env); this only fixes the initial arrangement and
+     tie-breaking, and gives the plan a statically auditable order
+     invariant — richer than raw row counts because Check instructions
+     discount by the distinct count of their position. *)
   let order =
-    let rows i = Array.length atoms.(i).a_rel.Db.tuples in
+    let key i = atom_key atoms.(i) in
     Array.of_list
       (List.stable_sort
-         (fun a b -> compare (rows a) (rows b))
+         (fun a b -> compare (key a) (key b))
          (List.init (Array.length atoms) Fun.id))
   in
   { c_vars = vars; c_atoms = atoms; c_order = order; c_feasible = !feasible }
@@ -239,7 +326,7 @@ let core_of cdb atom_list =
       pt.p_last <- Some core;
       core
 
-let compile db atom_list ~init =
+let compile_base db atom_list ~init =
   let cdb = Db.of_database db in
   let core = core_of cdb atom_list in
   let feasible = ref core.c_feasible in
@@ -265,7 +352,268 @@ let compile db atom_list ~init =
     feasible = !feasible;
     init;
     src_atoms = atom_list;
-    src_db = db }
+    src_db = db;
+    provenance = Compiled }
+
+(* ------------------------------------------------------------------ *)
+(* Optimization passes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each pass maps a plan to a rewritten plan plus a certificate. Passes never
+   mutate their input (plan cores are shared through the per-atom-list cache,
+   so every changed array is freshly allocated) and each one is O(plan) —
+   compile-time work must stay flat in |D|. *)
+
+let identity_map n = Array.init n Fun.id
+
+let scores_of (p : t) = Array.map atom_score p.atoms
+
+let identity_cert name (p : t) =
+  { cert_pass = name;
+    cert_reorders = false;
+    cert_slot_map = identity_map (Interner.size p.vars);
+    cert_atom_map = identity_map (Array.length p.atoms);
+    cert_folds = [||];
+    cert_drops = [||];
+    cert_scores = scores_of p }
+
+(* constant folding: a slot bound by [init] always holds the same id, so a
+   [Slot s] instruction on it is equivalent to [Check init_env.(s)]. Sound
+   for read-back because init-bound names are never read out of the
+   environment (see [conversion_table]). *)
+let pass_fold (p : t) =
+  let folds = ref [] in
+  let changed = ref false in
+  let atoms =
+    Array.map
+      (fun ap ->
+        let any =
+          Array.exists
+            (function Slot s -> p.init_env.(s) >= 0 | Check _ -> false)
+            ap.a_ops
+        in
+        if not any then ap
+        else begin
+          changed := true;
+          let ops =
+            Array.map
+              (function
+                | Slot s when p.init_env.(s) >= 0 ->
+                    if not (List.mem_assoc s !folds) then
+                      folds := (s, p.init_env.(s)) :: !folds;
+                    Check p.init_env.(s)
+                | op -> op)
+              ap.a_ops
+          in
+          { ap with a_ops = ops }
+        end)
+      p.atoms
+  in
+  let p' = if !changed then { p with atoms } else p in
+  let cert =
+    { (identity_cert "constant-fold" p') with
+      cert_folds = Array.of_list (List.rev !folds) }
+  in
+  (p', cert)
+
+(* a stored row matching an all-Check instruction sequence, found by scanning
+   the smallest counted cell among the checked positions; None when nothing
+   matches *)
+let ground_witness_row (ap : atom_plan) =
+  let r = ap.a_rel in
+  let ops = ap.a_ops in
+  if Array.length ops = 0 then
+    if Array.length r.Db.tuples > 0 then Some 0 else None
+  else begin
+    let best = ref None and missing = ref false in
+    Array.iteri
+      (fun pos op ->
+        match op with
+        | Check id -> (
+            match Hashtbl.find_opt r.Db.index.(pos) id with
+            | None -> missing := true
+            | Some cell -> (
+                match !best with
+                | Some (c, _) when c <= cell.Db.count -> ()
+                | _ -> best := Some (cell.Db.count, cell.Db.rows)))
+        | Slot _ -> ())
+      ops;
+    if !missing then None
+    else
+      match !best with
+      | None -> None
+      | Some (_, rows) ->
+          let matches ri =
+            let t = r.Db.tuples.(ri) in
+            let ok = ref true in
+            Array.iteri
+              (fun i op ->
+                match op with
+                | Check id -> if t.(i) <> id then ok := false
+                | Slot _ -> ())
+              ops;
+            !ok
+          in
+          Array.fold_left
+            (fun acc ri ->
+              match acc with
+              | Some _ -> acc
+              | None -> if matches ri then Some ri else None)
+            None rows
+  end
+
+(* dead-instruction elimination: an atom that exactly duplicates an earlier
+   kept atom constrains nothing new; an all-Check atom satisfied by some
+   stored row (the certificate names the witness row) is always satisfied.
+   Unmatched ground atoms are deliberately left in place: proving emptiness
+   is O(data), and the dynamic selection already kills such enumerations at
+   the first node. *)
+let pass_dead_instruction (p : t) =
+  let n = Array.length p.atoms in
+  let atom_map = Array.make n (-1) in
+  let drops = ref [] and kept_rev = ref [] in
+  for i = 0 to n - 1 do
+    let ap = p.atoms.(i) in
+    let dup =
+      List.find_opt
+        (fun j ->
+          let aj = p.atoms.(j) in
+          aj.a_rel == ap.a_rel && aj.a_ops = ap.a_ops)
+        !kept_rev
+    in
+    match dup with
+    | Some j -> drops := (i, Duplicate_of j) :: !drops
+    | None -> (
+        match if ground ap.a_ops then ground_witness_row ap else None with
+        | Some row -> drops := (i, Ground_matched row) :: !drops
+        | None -> kept_rev := i :: !kept_rev)
+  done;
+  let kept = Array.of_list (List.rev !kept_rev) in
+  Array.iteri (fun new_i old_i -> atom_map.(old_i) <- new_i) kept;
+  if Array.length kept = n then (p, identity_cert "dead-instruction" p)
+  else begin
+    let atoms = Array.map (fun i -> p.atoms.(i)) kept in
+    let order =
+      Array.of_list
+        (List.filter_map
+           (fun ai -> if atom_map.(ai) >= 0 then Some atom_map.(ai) else None)
+           (Array.to_list p.order))
+    in
+    let src = Array.of_list p.src_atoms in
+    let src_atoms = Array.to_list (Array.map (fun i -> src.(i)) kept) in
+    let p' = { p with atoms; order; src_atoms } in
+    let cert =
+      { (identity_cert "dead-instruction" p') with
+        cert_atom_map = atom_map;
+        cert_drops = Array.of_list (List.rev !drops) }
+    in
+    (p', cert)
+  end
+
+(* dead-slot elimination: a slot no instruction touches (after folding these
+   are exactly the init-bound ones) never receives or supplies a value, so it
+   can be dropped and the survivors renumbered densely. Read-back is
+   unaffected: init-bound names come from [p.init], untouched unbound slots
+   stay at -1 and are skipped either way. *)
+let pass_dead_slot (p : t) =
+  let nv = Interner.size p.vars in
+  let touched = Array.make (max 1 nv) false in
+  Array.iter
+    (fun ap ->
+      Array.iter
+        (function Slot s -> touched.(s) <- true | Check _ -> ())
+        ap.a_ops)
+    p.atoms;
+  let all = ref true in
+  for s = 0 to nv - 1 do
+    if not touched.(s) then all := false
+  done;
+  if !all then (p, identity_cert "dead-slot" p)
+  else begin
+    let vars = Interner.create ~capacity:(max 16 nv) () in
+    let slot_map =
+      Array.init nv (fun s ->
+          if touched.(s) then Interner.intern vars (Interner.get p.vars s)
+          else -1)
+    in
+    let nv' = Interner.size vars in
+    let init_env = Array.make (max 1 nv') (-1) in
+    Array.iteri
+      (fun s s' -> if s' >= 0 then init_env.(s') <- p.init_env.(s))
+      slot_map;
+    let atoms =
+      Array.map
+        (fun ap ->
+          { ap with
+            a_ops =
+              Array.map
+                (function Slot s -> Slot slot_map.(s) | op -> op)
+                ap.a_ops })
+        p.atoms
+    in
+    let p' = { p with vars; atoms; init_env } in
+    let cert = { (identity_cert "dead-slot" p') with cert_slot_map = slot_map } in
+    (p', cert)
+  end
+
+(* check hoisting: stable-partition the static order so fully-ground atoms
+   (cheap membership checks after folding) run before any slot is written *)
+let pass_hoist (p : t) =
+  let g, ng =
+    List.partition
+      (fun ai -> ground p.atoms.(ai).a_ops)
+      (Array.to_list p.order)
+  in
+  let order = Array.of_list (g @ ng) in
+  let p' = if order = p.order then p else { p with order } in
+  (p', { (identity_cert "check-hoist" p') with cert_reorders = true })
+
+(* selectivity-aware reordering: re-establish the full static-order invariant
+   (ground first, ascending selectivity) that constant folding broke by
+   turning Slot instructions into Checks *)
+let pass_reorder (p : t) =
+  let key ai = atom_key p.atoms.(ai) in
+  let order =
+    Array.of_list
+      (List.stable_sort
+         (fun a b -> compare (key a) (key b))
+         (Array.to_list p.order))
+  in
+  let p' = if order = p.order then p else { p with order } in
+  (p', { (identity_cert "selectivity-reorder" p') with cert_reorders = true })
+
+let optimize_flag =
+  ref
+    (match Sys.getenv_opt "WDPT_ENGINE_OPT" with
+    | Some ("0" | "false" | "no") -> false
+    | _ -> true)
+
+let set_optimize b = optimize_flag := b
+let optimize_enabled () = !optimize_flag
+
+let optimize p =
+  match p.provenance with
+  | Optimized _ -> p
+  | Compiled ->
+      if not p.feasible then p
+      else begin
+        let stages = ref [] in
+        let step pass q =
+          let q', cert = pass q in
+          stages := (q, cert) :: !stages;
+          q'
+        in
+        let q = step pass_fold p in
+        let q = step pass_dead_instruction q in
+        let q = step pass_dead_slot q in
+        let q = step pass_hoist q in
+        let q = step pass_reorder q in
+        { q with provenance = Optimized { stages = List.rev !stages } }
+      end
+
+let compile db atom_list ~init =
+  let p = compile_base db atom_list ~init in
+  if !optimize_flag then optimize p else p
 
 let slot_count p = Interner.size p.vars
 let value_of p id = Interner.get p.cdb.Db.pool id
@@ -423,8 +771,8 @@ let checked_enabled () = !checked
 (* static plan invariants, the runtime twin of Analysis.Plan_audit: slots in
    range of the environment (E001), interner ids inside the pool (E002),
    instruction and index arity coherent with the stored relation (E003),
-   static order sorted by stored counts (E005), compiled database not stale
-   (E006). O(plan size). *)
+   static order sorted by the (ground, selectivity) key (E005), compiled
+   database not stale (E006). O(plan size). *)
 let sanitize_static p =
   let nenv = Array.length p.init_env in
   let pool = Interner.size p.cdb.Db.pool in
@@ -467,14 +815,16 @@ let sanitize_static p =
         check_fail "static order is not a permutation of the atoms";
       seen.(ai) <- true)
     p.order;
+  let key i = atom_key p.atoms.(p.order.(i)) in
   for i = 0 to n - 2 do
-    let rows ai = Array.length p.atoms.(p.order.(ai)).a_rel.Db.tuples in
-    if rows i > rows (i + 1) then
+    if compare (key i) (key (i + 1)) > 0 then
       check_fail
-        "static order inversion: atom %d (%d rows) before atom %d (%d rows)"
-        p.order.(i) (rows i)
+        "static order inversion: atom %d (key %d, score %.3f) before atom %d \
+         (key %d, score %.3f)"
+        p.order.(i) (fst (key i)) (snd (key i))
         p.order.(i + 1)
-        (rows (i + 1))
+        (fst (key (i + 1)))
+        (snd (key (i + 1)))
   done
 
 (* revalidate one reported solution: every slot an instruction touches is
@@ -668,6 +1018,8 @@ module Inspect = struct
     a_arity : int;
     a_index_arity : int;
     a_rows : int;
+    a_dcounts : int array;
+    a_ranges : (int * int) array;
     a_ops : op array;
   }
 
@@ -693,6 +1045,8 @@ module Inspect = struct
             a_arity = ap.a_rel.Db.arity;
             a_index_arity = Array.length ap.a_rel.Db.index;
             a_rows = Array.length ap.a_rel.Db.tuples;
+            a_dcounts = Array.copy ap.a_rel.Db.dcounts;
+            a_ranges = Array.copy ap.a_rel.Db.ranges;
             a_ops = Array.copy ap.a_ops })
         p.atoms
     in
@@ -704,6 +1058,53 @@ module Inspect = struct
       i_order = Array.copy p.order;
       i_compiled_version = p.cdb.Db.db_version;
       i_live_version = Database.version p.src_db }
+
+  (* the optimization trail: (view of the plan before each pass, certificate)
+     per stage, plus the final view — everything Analysis.Equiv needs *)
+  let trail (p : t) =
+    match p.provenance with
+    | Compiled -> ([], plan p)
+    | Optimized { stages } ->
+        (List.map (fun (q, c) -> (plan q, c)) stages, plan p)
+
+  (* the plans before each pass, aligned with [trail]'s stages; used to
+     build probes for ground-drop justifications *)
+  let stage_plans (p : t) =
+    match p.provenance with
+    | Compiled -> []
+    | Optimized { stages } -> List.map fst stages
+
+  (* the unoptimized original: what the engine falls back to when a
+     certificate fails verification *)
+  let base (p : t) =
+    match p.provenance with
+    | Compiled -> p
+    | Optimized { stages } -> (
+        match stages with (q, _) :: _ -> q | [] -> p)
+
+  (* [row_matches p ~atom ~row]: the stored tuple [row] of [atom]'s relation
+     satisfies the atom's (all-Check) instructions. O(arity); false for any
+     out-of-range input or any atom that still reads a slot. This is the
+     probe Analysis.Equiv uses to confirm Ground_matched drop claims. *)
+  let row_matches (p : t) ~atom ~row =
+    atom >= 0
+    && atom < Array.length p.atoms
+    &&
+    let ap = p.atoms.(atom) in
+    let tuples = ap.a_rel.Db.tuples in
+    row >= 0
+    && row < Array.length tuples
+    && Array.length tuples.(row) = Array.length ap.a_ops
+    &&
+    let t = tuples.(row) in
+    let ok = ref true in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Check id -> if t.(i) <> id then ok := false
+        | Slot _ -> ok := false)
+      ap.a_ops;
+    !ok
 end
 
 (* ------------------------------------------------------------------ *)

@@ -27,8 +27,72 @@ type op =
   | Slot of int
 
 (** [compile db atoms ~init] builds a plan for the homomorphisms of [atoms]
-    into [db] extending [init]. *)
+    into [db] extending [init]. When optimization is enabled (the default,
+    see {!set_optimize}) the plan is additionally run through the
+    optimization pass pipeline; every pass records a certificate in the
+    plan's provenance ({!Inspect.trail}). *)
 val compile : Database.t -> Atom.t list -> init:Mapping.t -> t
+
+(** {2 Selectivity scoring}
+
+    The static atom order of every plan sorts by the lexicographic key
+    [(ground?, score)]: fully-ground atoms (only [Check] instructions) first,
+    then ascending {!selectivity} score. [Analysis.Plan_audit] E005 and the
+    checked interpreter verify exactly this invariant. *)
+
+(** [selectivity ~rows ~dcounts ops] is log10 of the estimated candidate rows
+    left after the [Check] instructions filter: log10 [rows] minus log10 of
+    the distinct count of each checked position (uniformity assumption).
+    [neg_infinity] when [rows = 0]. *)
+val selectivity : rows:int -> dcounts:int array -> op array -> float
+
+(** [ground ops]: the sequence contains no [Slot] instruction. *)
+val ground : op array -> bool
+
+(** The static-order sort key: [(0 if ground else 1, selectivity)]. *)
+val order_key : rows:int -> dcounts:int array -> op array -> int * float
+
+(** {2 Optimization passes and translation-validation certificates}
+
+    The pipeline runs five passes over every feasible plan: [constant-fold]
+    (init-bound [Slot]s become [Check]s), [dead-instruction] (exact-duplicate
+    atoms and stored-row-matched ground atoms are dropped), [dead-slot]
+    (untouched slots dropped, survivors renumbered), [check-hoist] (ground
+    atoms stable-partitioned to the front of the static order) and
+    [selectivity-reorder] (full static-order invariant re-established).
+    Every pass emits a {!cert}; [Analysis.Equiv] re-verifies the whole trail
+    in O(plan) and rejects the optimized plan ({!Inspect.base} is the
+    fallback) if any certificate fails. *)
+
+(** Why a pass dropped an atom: exact duplicate of a kept before-atom, or an
+    all-[Check] atom satisfied by the named stored row. *)
+type drop =
+  | Duplicate_of of int
+  | Ground_matched of int
+
+(** Plain-data certificate emitted by each pass: before → after mappings of
+    slots and atoms ([-1] = dropped) plus the facts justifying each rewrite.
+    Nothing in it is trusted; the checker re-derives everything. *)
+type cert = {
+  cert_pass : string;
+  cert_reorders : bool;
+  cert_slot_map : int array;
+  cert_atom_map : int array;
+  cert_folds : (int * int) array;
+  cert_drops : (int * drop) array;
+  cert_scores : float array;
+}
+
+(** Run the pass pipeline on a plan (no-op on infeasible or already-optimized
+    plans). [compile] applies this automatically when enabled; it is exposed
+    so benches can time the pipeline in isolation. *)
+val optimize : t -> t
+
+(** Toggle the pipeline for subsequent [compile] calls (differential
+    testing). Defaults to enabled; [WDPT_ENGINE_OPT=0] disables. *)
+val set_optimize : bool -> unit
+
+val optimize_enabled : unit -> bool
 
 (** Number of environment slots (distinct variables occurring in the atoms). *)
 val slot_count : t -> int
@@ -107,6 +171,9 @@ module Inspect : sig
     a_arity : int;  (** stored relation arity *)
     a_index_arity : int;  (** number of per-position indexes *)
     a_rows : int;  (** stored tuple count *)
+    a_dcounts : int array;  (** per position: distinct stored value ids *)
+    a_ranges : (int * int) array;
+        (** per position: (min, max) stored id, (0, -1) when empty *)
     a_ops : op array;  (** per-position instructions *)
   }
 
@@ -117,13 +184,32 @@ module Inspect : sig
     i_env : int array;  (** initial environment (slot -> id, -1 unbound) *)
     i_atoms : atom_view array;  (** empty when infeasible *)
     i_order : int array;
-        (** static atom order: indices into [i_atoms], ascending row count *)
+        (** static atom order: indices into [i_atoms], ground atoms first
+            then ascending selectivity score (see {!Engine.order_key}) *)
     i_compiled_version : int;  (** database version the plan was built at *)
     i_live_version : int;  (** database version at inspection time *)
   }
 
   (** Snapshot the IR of a compiled plan. *)
   val plan : t -> view
+
+  (** The optimization trail: one [(view of the plan before the pass,
+      certificate)] pair per pass, plus the final view. [([], plan p)] for
+      unoptimized plans. *)
+  val trail : t -> (view * cert) list * view
+
+  (** The plans before each pass, aligned with [trail]'s stage list (for
+      building {!row_matches} probes per stage). *)
+  val stage_plans : t -> t list
+
+  (** The unoptimized original of an optimized plan (itself otherwise) —
+      the fallback when certificate verification rejects the trail. *)
+  val base : t -> t
+
+  (** [row_matches p ~atom ~row]: stored tuple [row] of [atom]'s relation
+      satisfies the atom's instructions, which must be all-[Check]. O(arity),
+      false on any out-of-range input. Probe for [Ground_matched] claims. *)
+  val row_matches : t -> atom:int -> row:int -> bool
 end
 
 (** {2 Checked execution (sanitizer mode)}

@@ -6,6 +6,8 @@ type strategy =
   | Via_approximation of Pattern_tree.t list
   | Exact_exponential
 
+type exec = Backtracking | Yannakakis | Decomposition
+
 type plan = {
   query : Pattern_tree.t;
   source : Pattern_tree.t;
@@ -13,9 +15,24 @@ type plan = {
   k : int;
   bounded_interface : int;
   strategy : strategy;
+  exec : exec;
+  cost : Cq.Cost.t option;
 }
 
-let plan ~k p =
+(* Pick the per-instance execution engine from the statistics-only cost
+   bounds of the full-tree query (ROADMAP: cost-based strategy selection).
+   Acyclic instances go to Yannakakis (no bag materialization, Theorem 3);
+   cyclic ones go to the tree-decomposition evaluator only when its
+   |adom|^(tw+1) bag bound undercuts what plain backtracking is bounded by
+   (the better of the variable-domain and relation-product bounds). *)
+let choose_exec (c : Cq.Cost.t) =
+  if c.acyclic then Yannakakis
+  else if
+    Cq.Cost.decomp_eval_bound c < Float.min c.vardom_bound c.product_bound
+  then Decomposition
+  else Backtracking
+
+let plan ?db ~k p =
   (* consume the static analyzer's rewrite opportunities first: dropping
      redundant atoms and dead branches preserves p(D) and can only lower the
      widths the strategy selection below depends on *)
@@ -32,7 +49,21 @@ let plan ~k p =
           | [] -> Exact_exponential
           | apps -> Via_approximation apps)
   in
-  { query = q; source = p; rewrites; k; bounded_interface = c; strategy }
+  let cost =
+    match db with
+    | None -> None
+    | Some db ->
+        let full = Pattern_tree.q_full q in
+        Some (Cq.Cost.analyze db (Cq.Query.body full) ~free:(Cq.Query.head full))
+  in
+  let exec = match cost with None -> Backtracking | Some c -> choose_exec c in
+  { query = q; source = p; rewrites; k; bounded_interface = c; strategy;
+    exec; cost }
+
+let describe_exec = function
+  | Backtracking -> "backtracking search"
+  | Yannakakis -> "Yannakakis over the GYO join forest (acyclic instance)"
+  | Decomposition -> "tree-decomposition join tree (bags beat backtracking)"
 
 let describe pl =
   let prefix =
@@ -42,23 +73,28 @@ let describe pl =
         Printf.sprintf "simplified (%s); "
           (String.concat "; " (List.map Simplify.describe_rewrite rs))
   in
+  let suffix =
+    match pl.cost with
+    | None -> ""
+    | Some _ -> Printf.sprintf "; execution: %s" (describe_exec pl.exec)
+  in
   prefix
-  ^
-  match pl.strategy with
-  | Exact_tractable ->
-      Printf.sprintf
-        "tractable as written (interface %d, width budget %d): Theorems 6-9 apply"
-        pl.bounded_interface pl.k
-  | Via_witness _ ->
-      Printf.sprintf
-        "subsumption-equivalent to a WB(%d) query: partial/maximal evaluation \
-         through the witness (Corollary 2)"
-        pl.k
-  | Via_approximation apps ->
-      Printf.sprintf
-        "outside WB(%d): %d sound approximation(s) available (Section 5.2)"
-        pl.k (List.length apps)
-  | Exact_exponential -> "no optimization found: exact exponential evaluation"
+  ^ (match pl.strategy with
+    | Exact_tractable ->
+        Printf.sprintf
+          "tractable as written (interface %d, width budget %d): Theorems 6-9 apply"
+          pl.bounded_interface pl.k
+    | Via_witness _ ->
+        Printf.sprintf
+          "subsumption-equivalent to a WB(%d) query: partial/maximal evaluation \
+           through the witness (Corollary 2)"
+          pl.k
+    | Via_approximation apps ->
+        Printf.sprintf
+          "outside WB(%d): %d sound approximation(s) available (Section 5.2)"
+          pl.k (List.length apps)
+    | Exact_exponential -> "no optimization found: exact exponential evaluation")
+  ^ suffix
 
 let decision pl db h =
   match pl.strategy with
@@ -81,9 +117,25 @@ let complete pl =
   | Exact_tractable | Via_witness _ | Exact_exponential -> true
   | Via_approximation _ -> false
 
+(* A single-node WDPT is exactly the CQ r_{T} (head = the free variables):
+   the root either matches — yielding a total answer — or nothing does, so
+   the SPARQL semantics and the CQ semantics coincide and the cost-selected
+   engine can run the whole evaluation. *)
+let eval_cq pl db p =
+  let cq = Pattern_tree.r_of_subtree p (Pattern_tree.all_nodes p) in
+  match pl.exec with
+  | Yannakakis -> (
+      match Cq.Yannakakis.answers db cq with
+      | Some s -> s
+      | None -> Cq.Eval.answers db cq (* stats said acyclic; instance isn't *))
+  | Decomposition -> Cq.Decomp_eval.answers db cq
+  | Backtracking -> Cq.Eval.answers db cq
+
 let eval pl db =
   match pl.strategy with
-  | Exact_tractable | Exact_exponential -> Semantics.eval db pl.query
+  | Exact_tractable | Exact_exponential ->
+      if Pattern_tree.node_count pl.query = 1 then eval_cq pl db pl.query
+      else Semantics.eval db pl.query
   | Via_witness w ->
       (* ≡ₛ preserves maximal answers; report those *)
       Semantics.eval_max db w

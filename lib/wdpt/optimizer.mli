@@ -22,6 +22,15 @@ type strategy =
   | Exact_exponential
       (** no optimization found: exponential general algorithms *)
 
+(** Per-instance execution engine, chosen from the {!Cq.Cost} bounds of the
+    full-tree query when a database is supplied to {!plan}. *)
+type exec =
+  | Backtracking  (** plain backtracking search (also the no-database default) *)
+  | Yannakakis  (** acyclic instance: GYO join forest, no bag materialization *)
+  | Decomposition
+      (** cyclic, but the [|adom|^(tw+1)] bag bound undercuts the
+          backtracking bounds *)
+
 type plan = private {
   query : Pattern_tree.t;
       (** the simplified query the strategy applies to *)
@@ -32,12 +41,17 @@ type plan = private {
   k : int;
   bounded_interface : int;
   strategy : strategy;
+  exec : exec;
+  cost : Cq.Cost.t option;
+      (** the bounds behind the [exec] choice; [None] without a database *)
 }
 
-(** [plan ~k p] first applies {!Simplify.simplify} (evaluation-preserving, so
-    all answers below are still those of [p]), then classifies the result and
-    picks a strategy. *)
-val plan : k:int -> Pattern_tree.t -> plan
+(** [plan ?db ~k p] first applies {!Simplify.simplify} (evaluation-preserving,
+    so all answers below are still those of [p]), then classifies the result
+    and picks a strategy. With [?db] it additionally analyzes the full-tree
+    query's cost against that database's statistics and selects the execution
+    engine ([exec]) per instance. *)
+val plan : ?db:Database.t -> k:int -> Pattern_tree.t -> plan
 
 val describe : plan -> string
 
@@ -55,5 +69,10 @@ val complete : plan -> bool
 
 (** Full evaluation through the plan (for [Via_approximation]: the union of
     the approximations' answers — a sound subset, every returned mapping
-    subsumed by an exact answer). *)
+    subsumed by an exact answer). Single-node trees — plain CQs, where the
+    SPARQL and CQ semantics coincide — are routed through the cost-selected
+    [exec] engine. *)
 val eval : plan -> Database.t -> Mapping.Set.t
+
+(** One-line description of an execution engine choice. *)
+val describe_exec : exec -> string

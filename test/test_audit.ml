@@ -111,11 +111,42 @@ let test_e005 () =
   (match Audit.audit_view bad with
   | [ { D.code = D.Order_inversion;
         witness =
-          Some (D.Inversion { first = 0; rows_first = 3; second = 1; rows_second = 1 });
+          Some
+            (D.Inversion
+               { first = 0; rows_first = 3; second = 1; rows_second = 1; _ });
         _ } ] -> ()
   | ds -> check_codes "reversed order" [ D.Order_inversion ] ds);
   check_codes "non-permutation order" [ D.Order_inversion ]
     (Audit.audit_view { view with I.i_order = [| 0; 0 |] })
+
+let test_e005_selectivity () =
+  (* F has MORE rows than E (4 > 3), but its checked first position has 4
+     distinct values, so the distinct-count discount drives its score to 0 —
+     below E's log10 3. The selectivity-aware order puts F first where a
+     pure row-count order would put it last. *)
+  let db = db3 () in
+  List.iter
+    (fun i -> Database.add db (Fact.make "F" [ Value.int i; Value.int 0 ]))
+    [ 1; 2; 3; 4 ];
+  let p =
+    Engine.compile db [ e "x" "y"; atom "F" [ c 2; v "z" ] ] ~init:Mapping.empty
+  in
+  let view = Engine.Inspect.plan p in
+  check_bool "selective atom ordered first despite more rows" true
+    (view.I.i_order = [| 1; 0 |]);
+  check_codes "selectivity order audits clean" [] (Audit.audit_view view);
+  match Audit.audit_view { view with I.i_order = [| 0; 1 |] } with
+  | [ { D.code = D.Order_inversion;
+        witness =
+          Some
+            (D.Inversion
+               { first = 0; rows_first = 3; second = 1; rows_second = 4;
+                 score_first; score_second; _ });
+        _ } ] ->
+      (* the witness carries the scores that justify the inversion: the
+         later atom has the smaller key even though it has more rows *)
+      check_bool "second score below first" true (score_second < score_first)
+  | ds -> check_codes "row-count order trips E005" [ D.Order_inversion ] ds
 
 let test_e006 () =
   let db = db3 () in
@@ -223,6 +254,7 @@ let suite =
     Alcotest.test_case "E003 plan arity mismatch" `Quick test_e003;
     Alcotest.test_case "E004 dead slot" `Quick test_e004;
     Alcotest.test_case "E005 atom order inversion" `Quick test_e005;
+    Alcotest.test_case "E005 is selectivity-aware" `Quick test_e005_selectivity;
     Alcotest.test_case "E006 stale plan cache" `Quick test_e006;
     Alcotest.test_case "cost model basics" `Quick test_cost_basic;
     Alcotest.test_case "cost of empty relation" `Quick test_cost_empty_relation;

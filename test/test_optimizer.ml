@@ -55,6 +55,62 @@ let test_answers_sound () =
      real triangle too *)
   check_bool "true positive" true (Mapping.Set.mem Mapping.empty approx)
 
+(* cost-based execution selection: the engine choice follows the Cq.Cost
+   bounds of the instance, and the routed evaluation answers exactly like the
+   reference semantics *)
+let test_exec_selection () =
+  let sparse = db_of_edges [ (1, 2); (2, 3); (3, 4) ] in
+  (* every pair over 3 nodes: distinct counts saturate the active domain, so
+     the (tw+1)·log|adom| bag bound undercuts the backtracking bounds *)
+  let dense =
+    db_of_edges
+      (List.concat_map (fun i -> List.map (fun j -> (i, j)) [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  in
+  let check_routed name pl db p =
+    check_bool (name ^ ": routed eval agrees with the semantics") true
+      (Mapping.Set.equal (Opt.eval pl db) (Wdpt.Semantics.eval db p))
+  in
+  (* no database: backtracking default, no cost record *)
+  let chain = Workload.Gen_wdpt.chain_tree ~nodes:3 ~rel:"E" in
+  let pl0 = Opt.plan ~k:1 chain in
+  check_bool "no db: backtracking" true (pl0.Opt.exec = Opt.Backtracking);
+  check_bool "no db: no cost" true (pl0.Opt.cost = None);
+  (* acyclic single-node instance: Yannakakis *)
+  let path =
+    Pt.of_cq
+      (Cq.Query.make ~head:[ "x"; "z" ] ~body:[ e "x" "y"; e "y" "z" ])
+  in
+  let pl1 = Opt.plan ~db:sparse ~k:1 path in
+  check_bool "acyclic: Yannakakis" true (pl1.Opt.exec = Opt.Yannakakis);
+  check_bool "cost recorded" true (pl1.Opt.cost <> None);
+  check_routed "yannakakis" pl1 sparse path;
+  (* cyclic + sparse: the variable-domain bound beats the bag bound *)
+  let tri = Pt.of_cq (Workload.Gen_cq.cycle 3) in
+  let pl2 = Opt.plan ~db:sparse ~k:2 tri in
+  check_bool "cyclic sparse: backtracking" true (pl2.Opt.exec = Opt.Backtracking);
+  check_routed "backtracking" pl2 sparse tri;
+  (* cyclic + dense: tw+1 = 3 < 4 variables, distinct counts saturated *)
+  let c4 = Pt.of_cq (Workload.Gen_cq.cycle 4) in
+  let pl3 = Opt.plan ~db:dense ~k:2 c4 in
+  check_bool "cyclic dense: decomposition" true (pl3.Opt.exec = Opt.Decomposition);
+  check_routed "decomposition" pl3 dense c4;
+  check_bool "describe names the engine" true
+    (let s = Opt.describe pl3 in
+     let sub = "execution:" in
+     let n = String.length s and m = String.length sub in
+     let rec has i = i + m <= n && (String.sub s i m = sub || has (i + 1)) in
+     has 0)
+
+(* the routed evaluation is exact on every single-node tree whose strategy
+   is exact, whatever engine the statistics picked *)
+let prop_exec_routing_exact =
+  qtest ~count:150 "cost-routed evaluation = reference semantics"
+    (QCheck.pair arbitrary_cq arbitrary_db) (fun (q, db) ->
+      let p = Pt.of_cq q in
+      let pl = Opt.plan ~db ~k:2 p in
+      (not (Opt.complete pl))
+      || Mapping.Set.equal (Opt.eval pl db) (Wdpt.Semantics.eval db p))
+
 let test_partial_decision_via_witness () =
   let sq =
     Pt.of_cq
@@ -81,7 +137,10 @@ let prop_plan_partial_sound =
 
 let suite =
   [ Alcotest.test_case "strategy selection" `Quick test_strategies;
+    Alcotest.test_case "cost-based execution selection" `Quick
+      test_exec_selection;
     Alcotest.test_case "sound approximate answers" `Quick test_answers_sound;
+    prop_exec_routing_exact;
     Alcotest.test_case "partial decision via witness" `Quick
       test_partial_decision_via_witness;
     prop_plan_partial_sound ]
