@@ -71,24 +71,76 @@ let or_die = function
       exit 1
 
 let eval_cmd =
-  let run query data maximal relational =
+  let run query data maximal relational limit offset =
     let p = or_die (load_tree ~relational query) in
     let db = or_die (load_db ~relational data) in
-    let ans =
-      if maximal then Wdpt.Semantics.eval_max db p else Wdpt.Semantics.eval db p
-    in
-    Format.printf "%d answer(s)@." (Relational.Mapping.Set.cardinal ans);
-    List.iter
-      (fun h -> Format.printf "%a@." Relational.Mapping.pp h)
-      (Relational.Mapping.Set.elements ans)
+    let print_answer h = Format.printf "%a@." Relational.Mapping.pp h in
+    if limit = None && offset = 0 then begin
+      (* exact answer set, cardinality first *)
+      let ans =
+        if maximal then Wdpt.Semantics.eval_max db p
+        else Wdpt.Semantics.eval db p
+      in
+      Format.printf "%d answer(s)@." (Relational.Mapping.Set.cardinal ans);
+      List.iter print_answer (Relational.Mapping.Set.elements ans)
+    end
+    else if (not maximal) && Wdpt.Pattern_tree.node_count p = 1 then begin
+      (* a single-node tree is a plain projection of its root body, so the
+         page streams straight off the enumeration (first-seen order) and
+         stops as soon as it is full — nothing is materialized *)
+      let q = Wdpt.Pattern_tree.q_full p in
+      let shown =
+        Engine.stream_projections db (Cq.Query.body q)
+          ~init:Relational.Mapping.empty ~onto:(Cq.Query.head q) ~offset ~limit
+          print_answer
+      in
+      Format.printf "%d answer(s) shown, offset %d (streamed)@." shown offset
+    end
+    else begin
+      (* OPT branches / maximal semantics need the full answer set; page the
+         sorted elements *)
+      let ans =
+        if maximal then Wdpt.Semantics.eval_max db p
+        else Wdpt.Semantics.eval db p
+      in
+      let total = Relational.Mapping.Set.cardinal ans in
+      let shown = ref 0 in
+      (try
+         List.iteri
+           (fun i h ->
+             if i >= offset then begin
+               (match limit with
+               | Some l when !shown >= l -> raise Exit
+               | _ -> ());
+               print_answer h;
+               incr shown
+             end)
+           (Relational.Mapping.Set.elements ans)
+       with Exit -> ());
+      Format.printf "%d of %d answer(s) shown, offset %d@." !shown total offset
+    end
   in
   let maximal =
     Arg.(value & flag & info [ "m"; "maximal" ] ~doc:"Maximal-mappings semantics (Section 3.4).")
   in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Print at most $(docv) answers. On single-node queries the \
+                   page is streamed: enumeration short-circuits as soon as \
+                   the page is full instead of materializing the answer set \
+                   (answers arrive in first-seen enumeration order).")
+  in
+  let offset =
+    Arg.(value & opt int 0
+         & info [ "offset" ] ~docv:"N"
+             ~doc:"Skip the first $(docv) answers of the page.")
+  in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
-    Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg)
+    Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
+          $ offset)
 
 let classify_cmd =
   let run query k relational =
@@ -270,6 +322,7 @@ let explain_cmd =
     in
     let ds = lint_ds @ audit_ds @ equiv_ds in
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
+    let partition = Engine.Parallel.decision plan in
     let tree_growth = Analysis.Cost.tree_growth p in
     (match format with
     | `Json ->
@@ -296,6 +349,7 @@ let explain_cmd =
                 ("audit", Analysis.Diagnostic.report_json ds) ]
              @ opt_fields
              @ [ ("cost", Analysis.Cost.to_json cost);
+                 ("parallel", Analysis.Cost.parallel_json partition);
                  ("tree", tree_json);
                  ( "exit-code",
                    Analysis.Json.Int (Analysis.Diagnostic.exit_code ds) ) ]))
@@ -315,6 +369,7 @@ let explain_cmd =
             Format.printf "@[<v>dataflow:@,%a@]@." Analysis.Dataflow.pp df
         | None -> ());
         Format.printf "@[<v>cost:@,%a@]@." Analysis.Cost.pp cost;
+        Format.printf "@[<v>%a@]@." Analysis.Cost.pp_parallel partition;
         Format.printf "tree: %a%s@." Analysis.Cost.pp_growth tree_growth
           (match Analysis.Cost.tree_class p with
           | Some (k, c) ->

@@ -5,6 +5,7 @@
 
    Usage: wdpt_fuzz [SECONDS] [SEED]
           wdpt_fuzz --opt-diff [COUNT] [SEED]
+          wdpt_fuzz --par-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
 
@@ -14,7 +15,14 @@
    sets must be identical at both the WDPT and the CQ level — and
    translation-validates every optimized plan's certificate trail
    (Analysis.Equiv, zero E007-E010 expected). Count-based rather than
-   time-based so a pinned seed always covers the same instances. *)
+   time-based so a pinned seed always covers the same instances.
+
+   --par-diff COUNT runs the parallel differential: on COUNT (default 400)
+   random instances it evaluates sequentially and with a pool of 2 and 4
+   domains (the min-rows threshold lowered to 1 so small draws still cross
+   the parallel path), requiring identical answer sets at both the WDPT and
+   the CQ level and an identical env-for-env enumeration order across two
+   parallel runs. *)
 
 open Relational
 
@@ -139,6 +147,76 @@ let opt_diff_feasible p db =
   let adom = max 2 (Database.adom_size db) in
   float_of_int nvars *. log (float_of_int adom) <= log 1e6
 
+(* ---- parallel differential ---------------------------------------------- *)
+
+(* One instance of the --par-diff mode: identical answers with domain pools
+   of 1, 2 and 4 (at both semantics levels), and a deterministic
+   env-for-env enumeration order across two runs of the same parallel
+   configuration. *)
+let check_par_diff p db =
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let with_domains n f =
+    Engine.Parallel.set_domains n;
+    (* threshold 1: even tiny draws cross the chunked path *)
+    Engine.Parallel.set_min_rows 1;
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.Parallel.set_domains 1;
+        Engine.Parallel.set_min_rows 128)
+      f
+  in
+  let q = Wdpt.Pattern_tree.q_full p in
+  let seq_wdpt = Wdpt.Semantics.eval db p in
+  let seq_cq = Cq.Eval.answers db q in
+  let seq_envs =
+    let plan = Engine.compile db (Cq.Query.body q) ~init:Mapping.empty in
+    let out = ref [] in
+    Engine.iter_envs plan (fun env -> out := Array.copy env :: !out);
+    List.rev !out
+  in
+  List.iter
+    (fun nd ->
+      let tag s = Printf.sprintf "%s@%d-domains" s nd in
+      with_domains nd (fun () ->
+          if not (Mapping.Set.equal (Wdpt.Semantics.eval db p) seq_wdpt) then
+            fail (tag "wdpt-eval");
+          if not (Mapping.Set.equal (Cq.Eval.answers db q) seq_cq) then
+            fail (tag "cq-eval");
+          let enum () =
+            let plan = Engine.compile db (Cq.Query.body q) ~init:Mapping.empty in
+            let out = ref [] in
+            Engine.iter_envs plan (fun env -> out := Array.copy env :: !out);
+            List.rev !out
+          in
+          let run1 = enum () and run2 = enum () in
+          if run1 <> run2 then fail (tag "order-nondeterministic");
+          if run1 <> seq_envs then fail (tag "order-vs-sequential")))
+    [ 2; 4 ];
+  !failures
+
+let par_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      match check_par_diff p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "par-diff: %d instance(s) from seed %d (%d oversized skipped): %d failure(s)\n"
+    count seed0 !skipped !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 let opt_diff_main count seed0 =
   let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
   let seed = ref seed0 in
@@ -173,6 +251,15 @@ let () =
       if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
     in
     opt_diff_main count seed0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--par-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 400
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    par_diff_main count seed0
   end;
   let seconds =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0

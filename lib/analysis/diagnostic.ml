@@ -102,6 +102,7 @@ type witness =
       ground_second : bool;
     }
   | Stale of { compiled : int; live : int }
+  | Extended of { compiled : int; store : int; live : int }
   | Renamed of { pass : string; slot : int; variable : string; target : int }
   | Dropped of { pass : string; atom : int; pos : int; before : string; after : string }
   | Reordered of { pass : string; position : int; atom : int; detail : string }
@@ -234,6 +235,11 @@ let witness_json w =
   | Stale { compiled; live } ->
       kind "stale-plan-cache"
         [ ("compiled-version", Int compiled); ("live-version", Int live) ]
+  | Extended { compiled; store; live } ->
+      kind "incrementally-extended-plan"
+        [ ("compiled-version", Int compiled);
+          ("store-version", Int store);
+          ("live-version", Int live) ]
   | Renamed { pass; slot; variable; target } ->
       kind "unjustified-slot-renaming"
         [ ("pass", Str pass);

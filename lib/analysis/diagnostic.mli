@@ -147,7 +147,13 @@ type witness =
       score_second : float;
       ground_second : bool;
     }  (** E005 *)
-  | Stale of { compiled : int; live : int }  (** E006: version counters *)
+  | Stale of { compiled : int; live : int }
+      (** E006 (error form): the plan's compiled store is detached — the live
+          database moved past it and the store was not caught up *)
+  | Extended of { compiled : int; store : int; live : int }
+      (** E006 (note form): the plan was compiled at [compiled] but its store
+          was incrementally extended to [store] = [live]; existing rows are
+          untouched and candidate sets only grow, so the plan stays sound *)
   | Renamed of {
       pass : string;
       slot : int;  (** before-plan slot *)

@@ -226,17 +226,38 @@ let check_order (v : I.view) acc =
     !out
   end
 
-(* E006: the compiled database snapshot must match the live version counter. *)
+(* E006: three-way version discipline. A store that fell behind the live
+   database is detached — the plan enumerates against missing facts (error).
+   A store ahead of the plan's compile stamp but level with the live database
+   was incrementally extended in place: existing rows are untouched and
+   candidate sets only grow, so the plan stays sound — reported as a warning
+   (its cached static order may no longer be cost-optimal). *)
 let check_version (v : I.view) acc =
-  if v.i_compiled_version <> v.i_live_version then
+  if v.i_store_version < v.i_live_version then
     d
       ~witness:
         (Diagnostic.Stale
-           { compiled = v.i_compiled_version; live = v.i_live_version })
+           { compiled = v.i_store_version; live = v.i_live_version })
       Diagnostic.Stale_plan
       (Printf.sprintf
          "plan compiled against database version %d; the database is at version %d"
-         v.i_compiled_version v.i_live_version)
+         v.i_store_version v.i_live_version)
+    :: acc
+  else if v.i_compiled_version < v.i_store_version then
+    { (d
+         ~witness:
+           (Diagnostic.Extended
+              { compiled = v.i_compiled_version;
+                store = v.i_store_version;
+                live = v.i_live_version })
+         Diagnostic.Stale_plan
+         (Printf.sprintf
+            "plan compiled at database version %d; its store was incrementally \
+             extended to version %d"
+            v.i_compiled_version v.i_store_version))
+      with
+      severity = Diagnostic.Warning
+    }
     :: acc
   else acc
 
@@ -298,6 +319,7 @@ let view_json (v : I.view) =
                 v.i_atoms)) );
       ("order", List (Array.to_list (Array.map (fun i -> Json.Int i) v.i_order)));
       ("compiled-version", Int v.i_compiled_version);
+      ("store-version", Int v.i_store_version);
       ("live-version", Int v.i_live_version) ]
 
 let pp_op slots ppf = function
@@ -328,5 +350,5 @@ let pp_view ppf (v : I.view) =
            (pp_op v.i_slots))
         (Array.to_list av.I.a_ops))
     v.i_order;
-  Format.fprintf ppf "  versions: compiled %d, live %d" v.i_compiled_version
-    v.i_live_version
+  Format.fprintf ppf "  versions: compiled %d, store %d, live %d"
+    v.i_compiled_version v.i_store_version v.i_live_version

@@ -63,7 +63,10 @@ module Naive = struct
 end
 
 (* Compiled entry points (see Engine): same semantics, interned values and
-   slot environments in the hot loop. *)
+   slot environments in the hot loop. When WDPT_ENGINE_DOMAINS > 1 these
+   inherit the domain-parallel runtime (Engine.Parallel) transitively —
+   enumeration order and answer sets are identical to the sequential path,
+   so nothing at this level needs to know. *)
 
 let iter_homomorphisms = Engine.iter_homomorphisms
 let homomorphisms = Engine.homomorphisms

@@ -23,17 +23,21 @@ open Relational
 (* ------------------------------------------------------------------ *)
 
 module Db = struct
-  (* rows of each counted cell are frozen to an array after construction *)
+  (* Counted cells are growable: [rows] is a capacity array whose live prefix
+     is [rows.(0 .. count-1)]. Growability is what makes Database.add cheap:
+     new facts append into the existing cells instead of invalidating the
+     whole compiled form. Every consumer iterates the prefix, never
+     [Array.length rows]. *)
   type cell = {
     mutable count : int;
-    mutable acc : int list;      (* construction-time accumulator *)
-    mutable rows : int array;    (* indices into [tuples] *)
+    mutable rows : int array;    (* indices into [tuples]; capacity >= count *)
   }
 
   type rel = {
     name : string;
     arity : int;
-    tuples : Tuple.t array;
+    mutable tuples : Tuple.t array;  (* capacity array; live prefix [nrows] *)
+    mutable nrows : int;
     index : (int, cell) Hashtbl.t array;  (* per position: value id -> cell *)
     dcounts : int array;   (* per position: number of distinct value ids *)
     ranges : (int * int) array;
@@ -49,84 +53,102 @@ module Db = struct
   type t = {
     pool : Value.t Interner.t;
     rels : (string * int, rel) Hashtbl.t;  (* keyed by (name, arity) *)
-    db_version : int;
+    mutable db_version : int;
     mutable plans : plan_store;
   }
 
   let find_rel c name arity = Hashtbl.find_opt c.rels (name, arity)
 
+  let cell_push cell row =
+    let cap = Array.length cell.rows in
+    if cell.count = cap then begin
+      let rows = Array.make (max 4 (2 * cap)) 0 in
+      Array.blit cell.rows 0 rows 0 cell.count;
+      cell.rows <- rows
+    end;
+    cell.rows.(cell.count) <- row;
+    cell.count <- cell.count + 1
+
+  let fresh_rel name arity =
+    { name;
+      arity;
+      tuples = Array.make 16 [||];
+      nrows = 0;
+      index = Array.init arity (fun _ -> Hashtbl.create 16);
+      dcounts = Array.make arity 0;
+      ranges = Array.make arity (0, -1) }
+
+  let push_fact c f =
+    let name = Fact.rel f and arity = Fact.arity f in
+    let r =
+      match find_rel c name arity with
+      | Some r -> r
+      | None ->
+          let r = fresh_rel name arity in
+          Hashtbl.add c.rels (name, arity) r;
+          r
+    in
+    let t = Array.init arity (fun i -> Interner.intern c.pool (Fact.arg f i)) in
+    if r.nrows = Array.length r.tuples then begin
+      let tuples = Array.make (max 16 (2 * r.nrows)) [||] in
+      Array.blit r.tuples 0 tuples 0 r.nrows;
+      r.tuples <- tuples
+    end;
+    let row = r.nrows in
+    r.tuples.(row) <- t;
+    r.nrows <- row + 1;
+    Array.iteri
+      (fun pos v ->
+        (match Hashtbl.find_opt r.index.(pos) v with
+        | Some cell -> cell_push cell row
+        | None ->
+            Hashtbl.add r.index.(pos) v { count = 1; rows = [| row |] };
+            r.dcounts.(pos) <- r.dcounts.(pos) + 1;
+            let lo, hi = r.ranges.(pos) in
+            r.ranges.(pos) <-
+              (if hi < lo then (v, v) else (min lo v, max hi v))))
+      t
+
+  (* Catch the compiled form up to the live database: intern and append
+     exactly the facts added since [c.db_version] (the insertion log), in
+     place. The interner pool only grows, so every previously issued value
+     id — including ids folded into cached plans — stays valid. Plan cores
+     are discarded: row counts and distinct counts changed, so cached static
+     orders could violate the selectivity invariant (E005). *)
+  let extend c db =
+    let live = Database.version db in
+    if c.db_version < live then begin
+      List.iter (push_fact c) (Database.facts_since db c.db_version);
+      c.db_version <- live;
+      c.plans <- No_plans
+    end
+
+  (* Building from scratch IS extending an empty form with the full insertion
+     log, so an incrementally maintained compiled database and a rebuilt one
+     are identical structure-for-structure (same tuple order, same cell
+     order) — the determinism the parallel partitioner and the incremental
+     tests rely on. *)
   let build db =
-    let pool = Interner.create ~capacity:256 () in
-    let buckets : (string * int, Fact.t list ref) Hashtbl.t = Hashtbl.create 16 in
-    List.iter
-      (fun name ->
-        List.iter
-          (fun f ->
-            let key = (name, Fact.arity f) in
-            match Hashtbl.find_opt buckets key with
-            | Some cell -> cell := f :: !cell
-            | None -> Hashtbl.add buckets key (ref [ f ]))
-          (Database.facts_of db name))
-      (Database.relations db);
-    let rels = Hashtbl.create (Hashtbl.length buckets) in
-    Hashtbl.iter
-      (fun (name, arity) bucket ->
-        let tuples =
-          Array.of_list
-            (List.map
-               (fun f ->
-                 Array.init arity (fun i -> Interner.intern pool (Fact.arg f i)))
-               !bucket)
-        in
-        let index =
-          Array.init arity (fun _ ->
-              Hashtbl.create (max 16 (Array.length tuples)))
-        in
-        Array.iteri
-          (fun row t ->
-            Array.iteri
-              (fun pos v ->
-                match Hashtbl.find_opt index.(pos) v with
-                | Some cell ->
-                    cell.count <- cell.count + 1;
-                    cell.acc <- row :: cell.acc
-                | None ->
-                    Hashtbl.add index.(pos) v
-                      { count = 1; acc = [ row ]; rows = [||] })
-              t)
-          tuples;
-        (* freeze accumulators into arrays for cache-friendly scans *)
-        Array.iter
-          (fun tbl ->
-            Hashtbl.iter
-              (fun _ cell ->
-                cell.rows <- Array.of_list (List.rev cell.acc);
-                cell.acc <- [])
-              tbl)
-          index;
-        (* per-position statistics, read by selectivity scoring and the
-           dataflow analyzer: distinct counts and stored id ranges *)
-        let dcounts = Array.map Hashtbl.length index in
-        let ranges =
-          Array.init arity (fun pos ->
-              Hashtbl.fold
-                (fun v _ (lo, hi) ->
-                  if hi < lo then (v, v) else (min lo v, max hi v))
-                index.(pos) (0, -1))
-        in
-        Hashtbl.add rels (name, arity) { name; arity; tuples; index; dcounts; ranges })
-      buckets;
-    { pool; rels; db_version = Database.version db; plans = No_plans }
+    let c =
+      { pool = Interner.create ~capacity:256 ();
+        rels = Hashtbl.create 16;
+        db_version = 0;
+        plans = No_plans }
+    in
+    extend c db;
+    c
 
   type Database.cache += Compiled of t
 
-  (* Compiling is linear in the database and cached on the database itself
-     (invalidated by Database.add), so repeated queries against the same
-     database — the shape of every evaluation loop in lib/wdpt — pay for
-     interning once. *)
+  (* Compiling is linear in the database and cached on the database itself;
+     after Database.add the cached form catches up via [extend] — O(new
+     facts), not O(data) — so hot-path re-planning after inserts stops
+     paying full recompilation. *)
   let of_database db =
     match Database.get_cache db with
-    | Some (Compiled c) when c.db_version = Database.version db -> c
+    | Some (Compiled c) ->
+        extend c db;
+        c
     | _ ->
         let c = build db in
         Database.set_cache db (Compiled c);
@@ -179,12 +201,10 @@ let order_key ~rows ~dcounts ops =
   ((if ground ops then 0 else 1), selectivity ~rows ~dcounts ops)
 
 let atom_score (ap : atom_plan) =
-  selectivity ~rows:(Array.length ap.a_rel.Db.tuples)
-    ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
+  selectivity ~rows:ap.a_rel.Db.nrows ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
 
 let atom_key (ap : atom_plan) =
-  order_key ~rows:(Array.length ap.a_rel.Db.tuples)
-    ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
+  order_key ~rows:ap.a_rel.Db.nrows ~dcounts:ap.a_rel.Db.dcounts ap.a_ops
 
 (* ------------------------------------------------------------------ *)
 (* Translation-validation certificates                                   *)
@@ -230,6 +250,8 @@ type t = {
   init : Mapping.t;
   src_atoms : Atom.t list;   (* the compiled atom list, for inspection *)
   src_db : Database.t;       (* the database the plan was compiled against *)
+  compiled_at : int;         (* database version at compile time; the cdb may
+                                since have been incrementally extended *)
   provenance : provenance;
 }
 
@@ -353,6 +375,7 @@ let compile_base db atom_list ~init =
     init;
     src_atoms = atom_list;
     src_db = db;
+    compiled_at = cdb.Db.db_version;
     provenance = Compiled }
 
 (* ------------------------------------------------------------------ *)
@@ -423,7 +446,7 @@ let ground_witness_row (ap : atom_plan) =
   let r = ap.a_rel in
   let ops = ap.a_ops in
   if Array.length ops = 0 then
-    if Array.length r.Db.tuples > 0 then Some 0 else None
+    if r.Db.nrows > 0 then Some 0 else None
   else begin
     let best = ref None and missing = ref false in
     Array.iteri
@@ -442,7 +465,7 @@ let ground_witness_row (ap : atom_plan) =
     else
       match !best with
       | None -> None
-      | Some (_, rows) ->
+      | Some (count, rows) ->
           let matches ri =
             let t = r.Db.tuples.(ri) in
             let ok = ref true in
@@ -454,12 +477,13 @@ let ground_witness_row (ap : atom_plan) =
               ops;
             !ok
           in
-          Array.fold_left
-            (fun acc ri ->
-              match acc with
-              | Some _ -> acc
-              | None -> if matches ri then Some ri else None)
-            None rows
+          (* live prefix only: the cell array may have spare capacity *)
+          let rec scan i =
+            if i >= count then None
+            else if matches rows.(i) then Some rows.(i)
+            else scan (i + 1)
+          in
+          scan 0
   end
 
 (* dead-instruction elimination: an atom that exactly duplicates an earlier
@@ -582,14 +606,18 @@ let pass_reorder (p : t) =
   let p' = if order = p.order then p else { p with order } in
   (p', { (identity_cert "selectivity-reorder" p') with cert_reorders = true })
 
+(* Global engine toggles are atomics, read exactly once per top-level
+   enumeration (and threaded into every domain worker of a parallel region),
+   so a concurrent set_checked/set_optimize/set_domains from another domain
+   can never tear an in-flight run. *)
 let optimize_flag =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "WDPT_ENGINE_OPT" with
     | Some ("0" | "false" | "no") -> false
     | _ -> true)
 
-let set_optimize b = optimize_flag := b
-let optimize_enabled () = !optimize_flag
+let set_optimize b = Atomic.set optimize_flag b
+let optimize_enabled () = Atomic.get optimize_flag
 
 let optimize p =
   match p.provenance with
@@ -613,7 +641,7 @@ let optimize p =
 
 let compile db atom_list ~init =
   let p = compile_base db atom_list ~init in
-  if !optimize_flag then optimize p else p
+  if Atomic.get optimize_flag then optimize p else p
 
 let slot_count p = Interner.size p.vars
 let value_of p id = Interner.get p.cdb.Db.pool id
@@ -623,14 +651,75 @@ let slot_of p x = Interner.find p.vars x
 (* The matching loop                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* [iter_envs p f] calls [f env] (env borrowed: valid only during the call)
-   for every assignment of the slots consistent with all atoms. *)
-let iter_envs_fast p f =
-  if p.feasible then begin
+(* The first dynamic atom selection of an enumeration, replicated outside the
+   matching loop so the parallel partitioner can slice its candidate row
+   sequence: at the top level the environment is exactly [init_env], so the
+   selection — smallest stored count among bound positions of each atom in
+   [order], strict first-wins minimum — is a pure function of the plan.
+   Chunked runs that enumerate contiguous slices of this row sequence and
+   concatenate in slice order reproduce the sequential enumeration order
+   exactly. *)
+type first_choice = {
+  fc_pos : int;          (* position of the chosen atom inside [order] *)
+  fc_rows : int array;   (* candidate row indices (live prefix [fc_count]) *)
+  fc_scan : bool;        (* no bound position: iterate the whole relation *)
+  fc_count : int;        (* number of top-level candidates *)
+}
+
+let select_first p =
+  let n = Array.length p.atoms in
+  if not p.feasible || n = 0 then None
+  else begin
+    let env = p.init_env in
+    let best_pos = ref 0 and best_cost = ref 0 in
+    let best_rows = ref [||] and best_scan = ref false in
+    for j = 0 to n - 1 do
+      let ap = p.atoms.(p.order.(j)) in
+      let r = ap.a_rel in
+      let cost = ref r.Db.nrows and rows = ref [||] and scan = ref true in
+      let ops = ap.a_ops in
+      for pos = 0 to Array.length ops - 1 do
+        let bound =
+          match ops.(pos) with Check id -> id | Slot s -> env.(s)
+        in
+        if bound >= 0 then
+          match Hashtbl.find_opt r.Db.index.(pos) bound with
+          | Some cell ->
+              if !scan || cell.Db.count < !cost then begin
+                cost := cell.Db.count;
+                rows := cell.Db.rows;
+                scan := false
+              end
+          | None ->
+              cost := 0;
+              rows := [||];
+              scan := false
+      done;
+      if j = 0 || !cost < !best_cost then begin
+        best_pos := j;
+        best_cost := !cost;
+        best_rows := !rows;
+        best_scan := !scan
+      end
+    done;
+    Some
+      { fc_pos = !best_pos;
+        fc_rows = !best_rows;
+        fc_scan = !best_scan;
+        fc_count = !best_cost }
+  end
+
+let no_cancel () = false
+
+(* [iter_envs_fast_slice p fc ~lo ~hi ~cancel f]: the matching loop, restricted
+   to candidates [lo, hi) of the top-level choice [fc]. [cancel] is polled
+   between top-level candidates (a peer found a witness). The full sequential
+   enumeration is the [0, fc_count) slice. *)
+let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
+  if p.feasible && Array.length p.atoms > 0 then begin
     let env = Array.copy p.init_env in
     let n = Array.length p.atoms in
-    if n = 0 then f env
-    else begin
+    begin
       let remaining = Array.copy p.order in
       (* a slot is written at most once per search path, so one trail of
          [nslots] entries serves the whole recursion *)
@@ -679,7 +768,7 @@ let iter_envs_fast p f =
       let est_cost = ref 0 and est_rows = ref [||] and est_scan = ref false in
       let estimate ap =
         let r = ap.a_rel in
-        est_cost := Array.length r.Db.tuples;
+        est_cost := r.Db.nrows;
         est_rows := [||];
         est_scan := true;
         let ops = ap.a_ops in
@@ -726,7 +815,8 @@ let iter_envs_fast p f =
           let ap = p.atoms.(ai) in
           let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
           if !bscan then
-            for ti = 0 to Array.length tuples - 1 do
+            (* candidate counts are live prefixes: bcost rows, not capacity *)
+            for ti = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ops tuples.(ti) then begin
                 go (k - 1);
@@ -735,7 +825,7 @@ let iter_envs_fast p f =
             done
           else begin
             let rows = !brows in
-            for ri = 0 to Array.length rows - 1 do
+            for ri = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ops tuples.(rows.(ri)) then begin
                 go (k - 1);
@@ -747,8 +837,36 @@ let iter_envs_fast p f =
           remaining.(slot_j) <- ai
         end
       in
-      go n
+      (* top level: the pre-computed first choice, restricted to [lo, hi) —
+         identical to what [go n] would have selected and iterated *)
+      let ai = remaining.(fc.fc_pos) in
+      remaining.(fc.fc_pos) <- remaining.(n - 1);
+      remaining.(n - 1) <- ai;
+      let ap = p.atoms.(ai) in
+      let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+      let i = ref lo in
+      while !i < hi && not (cancel ()) do
+        let ti = if fc.fc_scan then !i else fc.fc_rows.(!i) in
+        let mark = !sp in
+        if match_tuple ops tuples.(ti) then begin
+          go (n - 1);
+          undo_to mark
+        end;
+        incr i
+      done
     end
+  end
+
+(* [iter_envs p f] calls [f env] (env borrowed: valid only during the call)
+   for every assignment of the slots consistent with all atoms. *)
+let iter_envs_fast p f =
+  if p.feasible then begin
+    if Array.length p.atoms = 0 then f (Array.copy p.init_env)
+    else
+      match select_first p with
+      | None -> ()
+      | Some fc ->
+          iter_envs_fast_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
   end
 
 (* ------------------------------------------------------------------ *)
@@ -760,13 +878,13 @@ exception Check_failure of string
 let check_fail fmt = Format.kasprintf (fun s -> raise (Check_failure s)) fmt
 
 let checked =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "WDPT_ENGINE_CHECKED" with
     | Some ("1" | "true" | "yes") -> true
     | _ -> false)
 
-let set_checked b = checked := b
-let checked_enabled () = !checked
+let set_checked b = Atomic.set checked b
+let checked_enabled () = Atomic.get checked
 
 (* static plan invariants, the runtime twin of Analysis.Plan_audit: slots in
    range of the environment (E001), interner ids inside the pool (E002),
@@ -776,9 +894,17 @@ let checked_enabled () = !checked
 let sanitize_static p =
   let nenv = Array.length p.init_env in
   let pool = Interner.size p.cdb.Db.pool in
-  if p.cdb.Db.db_version <> Database.version p.src_db then
-    check_fail "stale compiled database: built at version %d, database is at %d"
+  (* three-way version discipline: the compiled store may legitimately be
+     ahead of the plan (it was incrementally extended — existing rows are
+     untouched, the plan's candidate sets only grow), but a store that fell
+     behind the live database is detached and unsafe. *)
+  if p.cdb.Db.db_version < Database.version p.src_db then
+    check_fail
+      "detached compiled database: store at version %d, database is at %d"
       p.cdb.Db.db_version (Database.version p.src_db);
+  if p.compiled_at > p.cdb.Db.db_version then
+    check_fail "plan compiled at version %d, ahead of its store at %d"
+      p.compiled_at p.cdb.Db.db_version;
   Array.iteri
     (fun ai ap ->
       let r = ap.a_rel in
@@ -851,28 +977,35 @@ let verify_solution p env =
         !ok
       in
       let found =
-        if Array.length ops = 0 then Array.length r.Db.tuples > 0
+        if Array.length ops = 0 then r.Db.nrows > 0
         else
           match Hashtbl.find_opt r.Db.index.(0) (expected 0) with
           | None -> false
-          | Some cell -> Array.exists (fun ri -> matches r.Db.tuples.(ri)) cell.Db.rows
+          | Some cell ->
+              let rec scan i =
+                i < cell.Db.count
+                && (matches r.Db.tuples.(cell.Db.rows.(i)) || scan (i + 1))
+              in
+              scan 0
       in
       if not found then
         check_fail "solution violates atom %d (%s): no matching stored tuple" ai
           r.Db.name)
     p.atoms
 
-(* instrumented twin of [iter_envs_fast]: identical instruction selection and
-   enumeration order, with every instruction's effect validated — tuple
-   widths, single-write slot discipline, trail bracketing — and every
-   reported solution re-verified against the stored relations. *)
-let iter_envs_checked p f =
+(* instrumented twin of [iter_envs_fast_slice]: identical instruction
+   selection and enumeration order, with every instruction's effect
+   validated — tuple widths, single-write slot discipline, trail
+   bracketing — and every reported solution re-verified against the stored
+   relations. Each slice validates the static invariants on entry and the
+   trail/environment restoration on exit, so a parallel chunked run performs
+   the full sequential set of checks per chunk. *)
+let iter_envs_checked_slice p fc ~lo ~hi ~cancel f =
   sanitize_static p;
-  if p.feasible then begin
+  if p.feasible && Array.length p.atoms > 0 then begin
     let env = Array.copy p.init_env in
     let n = Array.length p.atoms in
-    if n = 0 then f env
-    else begin
+    begin
       let remaining = Array.copy p.order in
       let trail = Array.make (Array.length env) 0 in
       let sp = ref 0 in
@@ -920,7 +1053,7 @@ let iter_envs_checked p f =
       let est_cost = ref 0 and est_rows = ref [||] and est_scan = ref false in
       let estimate ap =
         let r = ap.a_rel in
-        est_cost := Array.length r.Db.tuples;
+        est_cost := r.Db.nrows;
         est_rows := [||];
         est_scan := true;
         let ops = ap.a_ops in
@@ -933,8 +1066,8 @@ let iter_envs_checked p f =
           if bound >= 0 then
             match Hashtbl.find_opt r.Db.index.(pos) bound with
             | Some cell ->
-                if cell.Db.count <> Array.length cell.Db.rows then
-                  check_fail "index cell of %s pos %d: count %d, %d row(s)"
+                if cell.Db.count > Array.length cell.Db.rows then
+                  check_fail "index cell of %s pos %d: count %d, capacity %d"
                     r.Db.name pos cell.Db.count (Array.length cell.Db.rows);
                 if !est_scan || cell.Db.count < !est_cost then begin
                   est_cost := cell.Db.count;
@@ -973,7 +1106,7 @@ let iter_envs_checked p f =
           let ap = p.atoms.(ai) in
           let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
           if !bscan then
-            for ti = 0 to Array.length tuples - 1 do
+            for ti = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ai ops tuples.(ti) then begin
                 go (k - 1);
@@ -982,7 +1115,7 @@ let iter_envs_checked p f =
             done
           else begin
             let rows = !brows in
-            for ri = 0 to Array.length rows - 1 do
+            for ri = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ai ops tuples.(rows.(ri)) then begin
                 go (k - 1);
@@ -994,7 +1127,21 @@ let iter_envs_checked p f =
           remaining.(slot_j) <- ai
         end
       in
-      go n;
+      let ai = remaining.(fc.fc_pos) in
+      remaining.(fc.fc_pos) <- remaining.(n - 1);
+      remaining.(n - 1) <- ai;
+      let ap = p.atoms.(ai) in
+      let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+      let i = ref lo in
+      while !i < hi && not (cancel ()) do
+        let ti = if fc.fc_scan then !i else fc.fc_rows.(!i) in
+        let mark = !sp in
+        if match_tuple ai ops tuples.(ti) then begin
+          go (n - 1);
+          undo_to mark
+        end;
+        incr i
+      done;
       if !sp <> 0 then check_fail "trail not empty after enumeration";
       Array.iteri
         (fun s v ->
@@ -1004,7 +1151,232 @@ let iter_envs_checked p f =
     end
   end
 
-let iter_envs p f = if !checked then iter_envs_checked p f else iter_envs_fast p f
+let iter_envs_checked p f =
+  if Array.length p.atoms = 0 || not p.feasible then begin
+    sanitize_static p;
+    if p.feasible then f (Array.copy p.init_env)
+  end
+  else
+    match select_first p with
+    | None -> ()
+    | Some fc ->
+        iter_envs_checked_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
+
+(* the sequential dispatch; the public [iter_envs] below additionally
+   partitions across domains when enabled *)
+let iter_envs_seq p f =
+  if Atomic.get checked then iter_envs_checked p f else iter_envs_fast p f
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel enumeration                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Parallel = struct
+  let domains_flag =
+    Atomic.make
+      (match Sys.getenv_opt "WDPT_ENGINE_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> min n 64
+          | _ -> 1)
+      | None -> 1)
+
+  let set_domains n = Atomic.set domains_flag (max 1 (min n 64))
+  let domains () = Atomic.get domains_flag
+
+  (* below this many top-level candidate rows a region is not worth the
+     Domain.spawn latency; tests lower it to exercise the parallel path on
+     small instances *)
+  let min_rows_flag = Atomic.make 128
+  let set_min_rows n = Atomic.set min_rows_flag (max 1 n)
+  let min_rows () = Atomic.get min_rows_flag
+
+  (* one region at a time: a callback that re-enters the engine while a
+     region is running (workers included) falls back to the sequential
+     path instead of nesting domain pools *)
+  let in_region = Atomic.make false
+
+  (* [i]th of [nchunks] near-equal contiguous slices of [0, count) *)
+  let chunk_bounds count nchunks =
+    let q = count / nchunks and r = count mod nchunks in
+    Array.init nchunks (fun i ->
+        ((i * q) + min i r, ((i + 1) * q) + min (i + 1) r))
+
+  let nchunks_for nd count = min count (nd * 4)
+
+  (* Drain chunk ids [0, nchunks) on [nd] domains — the calling domain
+     participates, so [nd - 1] are spawned — pulling work off a shared
+     atomic counter. The first exception wins, stops the drain on every
+     domain, and is re-raised here after all domains are joined. *)
+  let run_chunks ~nd ~nchunks work =
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    let drain () =
+      let running = ref true in
+      while !running do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= nchunks || Option.is_some (Atomic.get err) then running := false
+        else
+          try work i
+          with e -> ignore (Atomic.compare_and_set err None (Some e))
+      done
+    in
+    let workers =
+      List.init (min (nd - 1) (nchunks - 1)) (fun _ -> Domain.spawn drain)
+    in
+    drain ();
+    List.iter Domain.join workers;
+    match Atomic.get err with Some e -> raise e | None -> ()
+
+  (* Enter a region if profitable: [None] (callers run sequentially) when
+     the pool size is 1, the plan is trivial, the top-level candidate count
+     is below the row threshold, or a region is already running. On [Some]
+     the caller owns the region and must [leave] (via Fun.protect). *)
+  let enter p =
+    let nd = Atomic.get domains_flag in
+    if nd <= 1 || (not p.feasible) || Array.length p.atoms = 0 then None
+    else
+      match select_first p with
+      | None -> None
+      | Some fc ->
+          if fc.fc_count < Atomic.get min_rows_flag then None
+          else if not (Atomic.compare_and_set in_region false true) then None
+          else Some (nd, fc)
+
+  let leave () = Atomic.set in_region false
+
+  (* the slice interpreter is chosen once per region from the checked flag
+     and shared by every worker: a concurrent [set_checked] cannot tear a
+     run into mixed fast/checked chunks *)
+  let slice_interp () =
+    if Atomic.get checked then iter_envs_checked_slice else iter_envs_fast_slice
+
+  (* [iter p f]: every satisfying environment, in an order identical to the
+     sequential enumeration. Chunks buffer copies of their solutions; the
+     buffers are replayed on the calling domain in chunk order (chunks are
+     contiguous slices of the top-level candidate sequence, so chunk-order
+     concatenation IS sequential order). [f] runs outside the region and
+     may re-enter the engine. *)
+  let iter p f =
+    match enter p with
+    | None -> iter_envs_seq p f
+    | Some (nd, fc) ->
+        let interp = slice_interp () in
+        let nchunks = nchunks_for nd fc.fc_count in
+        let bounds = chunk_bounds fc.fc_count nchunks in
+        let buffers = Array.make nchunks [] in
+        Fun.protect ~finally:leave (fun () ->
+            run_chunks ~nd ~nchunks (fun i ->
+                let lo, hi = bounds.(i) in
+                let buf = ref [] in
+                interp p fc ~lo ~hi ~cancel:no_cancel (fun env ->
+                    buf := Array.copy env :: !buf);
+                buffers.(i) <- List.rev !buf));
+        Array.iter (List.iter f) buffers
+
+  (* [count p]: per-chunk counts, summed. *)
+  let count p =
+    match enter p with
+    | None ->
+        let n = ref 0 in
+        iter_envs_seq p (fun _ -> incr n);
+        !n
+    | Some (nd, fc) ->
+        let interp = slice_interp () in
+        let nchunks = nchunks_for nd fc.fc_count in
+        let bounds = chunk_bounds fc.fc_count nchunks in
+        let counts = Array.make nchunks 0 in
+        Fun.protect ~finally:leave (fun () ->
+            run_chunks ~nd ~nchunks (fun i ->
+                let lo, hi = bounds.(i) in
+                let n = ref 0 in
+                interp p fc ~lo ~hi ~cancel:no_cancel (fun _ -> incr n);
+                counts.(i) <- !n));
+        Array.fold_left ( + ) 0 counts
+
+  exception Hit
+
+  (* [sat p]: the first witness on any domain raises the shared atomic flag;
+     peers poll it between top-level candidates and stop early. *)
+  let sat p =
+    match enter p with
+    | None -> (
+        try
+          iter_envs_seq p (fun _ -> raise Hit);
+          false
+        with Hit -> true)
+    | Some (nd, fc) ->
+        let interp = slice_interp () in
+        let nchunks = nchunks_for nd fc.fc_count in
+        let bounds = chunk_bounds fc.fc_count nchunks in
+        let found = Atomic.make false in
+        let cancel () = Atomic.get found in
+        Fun.protect ~finally:leave (fun () ->
+            run_chunks ~nd ~nchunks (fun i ->
+                if not (Atomic.get found) then begin
+                  let lo, hi = bounds.(i) in
+                  try interp p fc ~lo ~hi ~cancel (fun _ -> raise Hit)
+                  with Hit -> Atomic.set found true
+                end));
+        Atomic.get found
+
+  (* the partitioning decision for a plan under the current configuration,
+     as plain data for Analysis.Cost / the explain CLI *)
+  type decision = {
+    d_domains : int;  (* configured pool size *)
+    d_atom : int option;  (* top-level atom (plan index), if any *)
+    d_rows : int;  (* top-level candidate rows *)
+    d_chunks : int;  (* 1 = sequential *)
+    d_chunk_rows : int;  (* estimated rows per chunk *)
+    d_reason : string;
+  }
+
+  let decision p =
+    let nd = Atomic.get domains_flag in
+    let mr = Atomic.get min_rows_flag in
+    match select_first p with
+    | None ->
+        { d_domains = nd;
+          d_atom = None;
+          d_rows = 0;
+          d_chunks = 1;
+          d_chunk_rows = 0;
+          d_reason =
+            (if not p.feasible then "sequential: infeasible plan"
+             else "sequential: no atoms") }
+    | Some fc ->
+        let atom = Some p.order.(fc.fc_pos) in
+        if nd <= 1 then
+          { d_domains = nd;
+            d_atom = atom;
+            d_rows = fc.fc_count;
+            d_chunks = 1;
+            d_chunk_rows = fc.fc_count;
+            d_reason = "sequential: pool size 1" }
+        else if fc.fc_count < mr then
+          { d_domains = nd;
+            d_atom = atom;
+            d_rows = fc.fc_count;
+            d_chunks = 1;
+            d_chunk_rows = fc.fc_count;
+            d_reason =
+              Printf.sprintf
+                "sequential: %d candidate row(s) under the %d-row threshold"
+                fc.fc_count mr }
+        else
+          let nchunks = nchunks_for nd fc.fc_count in
+          { d_domains = nd;
+            d_atom = atom;
+            d_rows = fc.fc_count;
+            d_chunks = nchunks;
+            d_chunk_rows = (fc.fc_count + nchunks - 1) / nchunks;
+            d_reason =
+              Printf.sprintf "parallel: %d chunk(s) on %d domain(s)" nchunks nd }
+end
+
+let iter_envs = Parallel.iter
+let count_envs = Parallel.count
+let sat = Parallel.sat
 
 (* ------------------------------------------------------------------ *)
 (* Plan inspection                                                      *)
@@ -1031,6 +1403,7 @@ module Inspect = struct
     i_atoms : atom_view array;
     i_order : int array;
     i_compiled_version : int;
+    i_store_version : int;
     i_live_version : int;
   }
 
@@ -1044,7 +1417,7 @@ module Inspect = struct
             a_rel = ap.a_rel.Db.name;
             a_arity = ap.a_rel.Db.arity;
             a_index_arity = Array.length ap.a_rel.Db.index;
-            a_rows = Array.length ap.a_rel.Db.tuples;
+            a_rows = ap.a_rel.Db.nrows;
             a_dcounts = Array.copy ap.a_rel.Db.dcounts;
             a_ranges = Array.copy ap.a_rel.Db.ranges;
             a_ops = Array.copy ap.a_ops })
@@ -1056,7 +1429,8 @@ module Inspect = struct
       i_env = Array.copy p.init_env;
       i_atoms = atoms;
       i_order = Array.copy p.order;
-      i_compiled_version = p.cdb.Db.db_version;
+      i_compiled_version = p.compiled_at;
+      i_store_version = p.cdb.Db.db_version;
       i_live_version = Database.version p.src_db }
 
   (* the optimization trail: (view of the plan before each pass, certificate)
@@ -1093,7 +1467,7 @@ module Inspect = struct
     let ap = p.atoms.(atom) in
     let tuples = ap.a_rel.Db.tuples in
     row >= 0
-    && row < Array.length tuples
+    && row < ap.a_rel.Db.nrows
     && Array.length tuples.(row) = Array.length ap.a_ops
     &&
     let t = tuples.(row) in
@@ -1142,44 +1516,46 @@ let homomorphisms db atoms ~init =
 
 exception Found of Mapping.t
 
+(* first answer = first answer of the sequential enumeration: runs on the
+   sequential path so the exception exits as soon as the witness is found
+   (a parallel region would buffer whole chunks before replaying). *)
 let first_homomorphism db atoms ~init =
+  let p = compile db atoms ~init in
+  let table = conversion_table p in
   try
-    iter_homomorphisms db atoms ~init (fun h -> raise (Found h));
+    iter_envs_seq p (fun env ->
+        raise (Found (mapping_of_env_with p table env)));
     None
   with Found h -> Some h
 
-exception Sat
+let satisfiable db atoms ~init = sat (compile db atoms ~init)
 
-let satisfiable db atoms ~init =
-  let p = compile db atoms ~init in
-  try
-    iter_envs p (fun _ -> raise Sat);
-    false
-  with Sat -> true
+(* split the projection targets into environment slots and init
+   pass-throughs: (slotted vars, their slots, mapping of fixed vars) *)
+let projection_frame p onto =
+  let slotted =
+    List.filter_map (fun x -> Option.map (fun s -> (x, s)) (slot_of p x)) onto
+  in
+  let fixed =
+    List.fold_left
+      (fun acc x ->
+        if List.mem_assoc x slotted then acc
+        else
+          match Mapping.find x p.init with
+          | Some v -> Mapping.add x v acc
+          | None -> acc)
+      Mapping.empty onto
+  in
+  ( Array.of_list (List.map fst slotted),
+    Array.of_list (List.map snd slotted),
+    fixed )
 
 let distinct_projections db atoms ~init ~onto =
   let p = compile db atoms ~init in
   if not p.feasible then []
   else begin
-    (* split the target variables into environment slots and init
-       pass-throughs; dedup happens on raw slot tuples *)
-    let slotted =
-      List.filter_map
-        (fun x -> Option.map (fun s -> (x, s)) (slot_of p x))
-        onto
-    in
-    let fixed =
-      List.fold_left
-        (fun acc x ->
-          if List.mem_assoc x slotted then acc
-          else
-            match Mapping.find x p.init with
-            | Some v -> Mapping.add x v acc
-            | None -> acc)
-        Mapping.empty onto
-    in
-    let hvars = Array.of_list (List.map fst slotted) in
-    let hslots = Array.of_list (List.map snd slotted) in
+    (* dedup happens on raw slot tuples *)
+    let hvars, hslots, fixed = projection_frame p onto in
     let seen = Tuple.Tbl.create 256 in
     (* one reusable probe key; copied only when a new projection is seen *)
     let nk = Array.length hslots in
@@ -1198,6 +1574,46 @@ let distinct_projections db atoms ~init ~onto =
           key;
         !m :: acc)
       seen []
+  end
+
+exception Stream_done
+
+(* [stream_projections] emits distinct projections in first-seen enumeration
+   order, skipping [offset] and stopping after [limit]: pagination without
+   materializing the answer set. Deliberately sequential — the early exit is
+   the point — and deduplicating on the fly, so a page costs only the
+   enumeration prefix that produces it. Returns the number emitted. *)
+let stream_projections db atoms ~init ~onto ~offset ~limit f =
+  let p = compile db atoms ~init in
+  if (not p.feasible) || limit = Some 0 then 0
+  else begin
+    let hvars, hslots, fixed = projection_frame p onto in
+    let seen = Tuple.Tbl.create 256 in
+    let nk = Array.length hslots in
+    let probe = Array.make nk 0 in
+    let skipped = ref 0 and emitted = ref 0 in
+    (try
+       iter_envs_seq p (fun env ->
+           for i = 0 to nk - 1 do
+             probe.(i) <- env.(hslots.(i))
+           done;
+           if not (Tuple.Tbl.mem seen probe) then begin
+             Tuple.Tbl.add seen (Array.copy probe) ();
+             if !skipped < offset then incr skipped
+             else begin
+               let m = ref fixed in
+               Array.iteri
+                 (fun i v -> m := Mapping.add hvars.(i) (value_of p v) !m)
+                 probe;
+               f !m;
+               incr emitted;
+               match limit with
+               | Some l when !emitted >= l -> raise Stream_done
+               | _ -> ()
+             end
+           end)
+     with Stream_done -> ());
+    !emitted
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1287,7 +1703,33 @@ module Rel = struct
         let k = key_of ps t in
         if not (Tuple.Tbl.mem keys k) then Tuple.Tbl.add keys k ())
       s.rows;
-    let rows = List.filter (fun t -> Tuple.Tbl.mem keys (key_of pr t)) r.rows in
+    let keep t = Tuple.Tbl.mem keys (key_of pr t) in
+    let nd = Parallel.domains () in
+    let rows =
+      if
+        nd > 1
+        && r.count >= Parallel.min_rows ()
+        && Atomic.compare_and_set Parallel.in_region false true
+      then
+        (* chunk-parallel filter: [keys] is only read inside the region, so
+           sharing the table across domains is safe; per-chunk results are
+           concatenated in chunk order to keep the row order deterministic *)
+        Fun.protect ~finally:Parallel.leave (fun () ->
+            let arr = Array.of_list r.rows in
+            let count = Array.length arr in
+            let nchunks = Parallel.nchunks_for nd count in
+            let bounds = Parallel.chunk_bounds count nchunks in
+            let parts = Array.make nchunks [] in
+            Parallel.run_chunks ~nd ~nchunks (fun i ->
+                let lo, hi = bounds.(i) in
+                let out = ref [] in
+                for j = hi - 1 downto lo do
+                  if keep arr.(j) then out := arr.(j) :: !out
+                done;
+                parts.(i) <- !out);
+            List.concat (Array.to_list parts))
+      else List.filter keep r.rows
+    in
     { r with rows; count = List.length rows }
 
   let join r s =

@@ -6,9 +6,20 @@
     instructions — and then matched by a tight backtracking loop that ranks
     candidate atoms from stored index counts instead of materialized lists.
     The compiled form of a database is cached on the database itself and
-    invalidated by [Database.add]; plan cores (instruction selection, slot
+    maintained incrementally: [Database.add] appends to the insertion log,
+    and the next compile catches the cached form up in place (interned
+    tuples and counted index cells are growable arrays with live prefixes)
+    instead of rebuilding — extending from version [v] replays exactly
+    [Database.facts_since db v], so the extended form is structurally
+    identical to a fresh rebuild. Plan cores (instruction selection, slot
     assignment) are additionally cached per atom list, so re-evaluating one
     body under many [~init] bindings compiles once.
+
+    Enumeration can run domain-parallel (see {!Parallel}): the top-level
+    candidate row range is partitioned into contiguous chunks drained by a
+    pool of OCaml 5 domains, and per-primitive reducers merge chunk results
+    in chunk order — which reproduces the sequential enumeration order
+    exactly, so output is deterministic regardless of scheduling.
 
     [Mapping.t] appears only at the boundaries: [~init] is interned at
     compile time and solutions are read back out of the slot environment. *)
@@ -104,9 +115,22 @@ val slot_of : t -> string -> int option
 val value_of : t -> int -> Value.t
 
 (** [iter_envs p f] calls [f env] for every satisfying slot assignment. The
-    environment is borrowed: it is mutated after [f] returns, so callers must
-    copy whatever they keep. Raising inside [f] aborts the enumeration. *)
+    environment is borrowed: it is mutated (or dropped) after [f] returns, so
+    callers must copy whatever they keep. Raising inside [f] aborts the
+    enumeration. Under a parallel configuration ({!Parallel.set_domains})
+    chunks buffer their solutions and [f] is applied on the calling domain
+    in chunk order, so the order of calls is identical to the sequential
+    enumeration and [f] itself never runs concurrently. *)
 val iter_envs : t -> (int array -> unit) -> unit
+
+(** [count_envs p] is the number of satisfying slot assignments. Parallel
+    reducer: per-chunk counts, summed. *)
+val count_envs : t -> int
+
+(** [sat p]: some satisfying assignment exists. Parallel reducer: the first
+    witness on any domain raises a shared atomic cancellation flag; peers
+    poll it between top-level candidates and stop early. *)
+val sat : t -> bool
 
 (** [mapping_of_env p env] converts a satisfying environment back to a
     mapping extending the plan's [init]. *)
@@ -131,6 +155,61 @@ val satisfiable : Database.t -> Atom.t list -> init:Mapping.t -> bool
     preserved; unbound absent ones are dropped (restriction semantics). *)
 val distinct_projections :
   Database.t -> Atom.t list -> init:Mapping.t -> onto:string list -> Mapping.t list
+
+(** [stream_projections db atoms ~init ~onto ~offset ~limit f] emits distinct
+    projections in first-seen enumeration order, skipping the first [offset]
+    and stopping after [limit] (no cap when [None]); returns the number
+    emitted. Pagination without materializing the answer set: enumeration
+    runs on the sequential path (early exit is the point) and stops as soon
+    as the page is full. *)
+val stream_projections :
+  Database.t ->
+  Atom.t list ->
+  init:Mapping.t ->
+  onto:string list ->
+  offset:int ->
+  limit:int option ->
+  (Mapping.t -> unit) ->
+  int
+
+(** {2 Domain-parallel enumeration}
+
+    The matching loop's top level iterates the candidate rows of one
+    statically chosen atom — a pure function of the plan, replicated outside
+    the loop — so the row range partitions into contiguous chunks that
+    domains drain from a shared atomic counter. Per-primitive reducers merge
+    in chunk order (= sequential order). Checked mode composes: every chunk
+    runs the instrumented interpreter with the full per-run validation.
+    A region falls back to sequential when the pool size is 1, the top-level
+    candidate count is under {!Parallel.min_rows}, or a region is already
+    running (nested engine calls from an enumeration callback). *)
+module Parallel : sig
+  (** Set the domain pool size (clamped to [1..64]). 1 = sequential.
+      Initialized from [WDPT_ENGINE_DOMAINS]. *)
+  val set_domains : int -> unit
+
+  val domains : unit -> int
+
+  (** Minimum top-level candidate rows before a parallel region pays for its
+      [Domain.spawn] latency (default 128; tests lower it to exercise the
+      parallel path on small instances). *)
+  val set_min_rows : int -> unit
+
+  val min_rows : unit -> int
+
+  (** The partitioning decision for a plan under the current configuration,
+      as plain data (reported by [explain] and {!Analysis.Cost}). *)
+  type decision = {
+    d_domains : int;  (** configured pool size *)
+    d_atom : int option;  (** top-level atom (plan index), if any *)
+    d_rows : int;  (** top-level candidate rows *)
+    d_chunks : int;  (** 1 = sequential *)
+    d_chunk_rows : int;  (** estimated rows per chunk *)
+    d_reason : string;  (** why parallel / why sequential *)
+  }
+
+  val decision : t -> decision
+end
 
 (** Interned relations: sorted variable arrays over deduplicated id-tuples,
     with hash-based semijoin/join/project. This is the representation the
@@ -187,6 +266,10 @@ module Inspect : sig
         (** static atom order: indices into [i_atoms], ground atoms first
             then ascending selectivity score (see {!Engine.order_key}) *)
     i_compiled_version : int;  (** database version the plan was built at *)
+    i_store_version : int;
+        (** version of the compiled store backing the plan: equal to
+            [i_compiled_version] when untouched since compilation, ahead of
+            it when the store was incrementally extended by later inserts *)
     i_live_version : int;  (** database version at inspection time *)
   }
 

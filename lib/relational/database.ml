@@ -33,6 +33,9 @@ type t = {
   mutable adom : Value.Set.t;
   mutable adom_count : int;
   mutable version : int;
+  mutable log : Fact.t list;
+      (* reverse insertion order; length = version. The log is what lets a
+         derived structure catch up incrementally: [facts_since] slices it. *)
   mutable cache : cache option;
 }
 
@@ -44,6 +47,7 @@ let create () =
     adom = Value.Set.empty;
     adom_count = 0;
     version = 0;
+    log = [];
     cache = None }
 
 let mem db f = Fact.Set.mem f db.all
@@ -56,7 +60,9 @@ let add db f =
   if not (mem db f) then begin
     db.all <- Fact.Set.add f db.all;
     db.version <- db.version + 1;
-    db.cache <- None;
+    db.log <- f :: db.log;
+    (* the cache survives: derived structures compare their stored version
+       against [version] and catch up via [facts_since] (or rebuild) *)
     let cell =
       match Hashtbl.find_opt db.by_rel (Fact.rel f) with
       | Some c -> c
@@ -134,8 +140,18 @@ let arity_of db rel =
   match facts_of db rel with [] -> None | f :: _ -> Some (Fact.arity f)
 
 let version db = db.version
+
+let facts_since db v =
+  (* the newest [version - v] log entries, oldest first *)
+  let rec take n acc l =
+    if n <= 0 then acc
+    else match l with [] -> acc | f :: rest -> take (n - 1) (f :: acc) rest
+  in
+  take (db.version - v) [] db.log
+
 let get_cache db = db.cache
 let set_cache db c = db.cache <- Some c
+let clear_cache db = db.cache <- None
 
 let candidates db a h =
   (* Pick the smallest counted index cell among the bound positions,

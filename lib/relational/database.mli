@@ -43,12 +43,25 @@ val schema : t -> Schema.t
     derived structures (e.g. the compiled engine form) detect staleness. *)
 val version : t -> int
 
-(** One cache slot for a derived structure, invalidated on every {!add}.
-    Extend [cache] with your constructor and check the stored version. *)
+(** [facts_since db v] lists the facts inserted after the database was at
+    version [v], in insertion order. [facts_since db 0] replays the whole
+    database. This is the catch-up feed for incrementally maintained derived
+    structures: a structure stamped with version [v] extends itself with
+    exactly these facts instead of rebuilding. O(version - v). *)
+val facts_since : t -> int -> Fact.t list
+
+(** One cache slot for a derived structure. The slot survives {!add} — the
+    structure is expected to compare its stored version against {!version}
+    and catch up via {!facts_since} (the compiled engine form does exactly
+    this). Extend [cache] with your constructor. *)
 type cache = ..
 
 val get_cache : t -> cache option
 val set_cache : t -> cache -> unit
+
+(** Drop the cached derived structure, forcing the next consumer to rebuild
+    from scratch (benchmark baseline and differential tests). *)
+val clear_cache : t -> unit
 
 (** Active domain: every constant occurring in some fact. *)
 val active_domain : t -> Value.Set.t

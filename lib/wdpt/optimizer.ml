@@ -120,7 +120,9 @@ let complete pl =
 (* A single-node WDPT is exactly the CQ r_{T} (head = the free variables):
    the root either matches — yielding a total answer — or nothing does, so
    the SPARQL semantics and the CQ semantics coincide and the cost-selected
-   engine can run the whole evaluation. *)
+   engine can run the whole evaluation. All three engines bottom out in the
+   compiled Engine, so when WDPT_ENGINE_DOMAINS > 1 every choice made here
+   runs on the domain pool with identical answers and order. *)
 let eval_cq pl db p =
   let cq = Pattern_tree.r_of_subtree p (Pattern_tree.all_nodes p) in
   match pl.exec with

@@ -16,6 +16,7 @@ let () =
     (List.map deterministic_fresh
        [ ("relational", Test_relational.suite);
          ("engine", Test_engine.suite);
+         ("parallel", Test_parallel.suite);
          ("hypergraph", Test_hypergraph.suite);
          ("cq", Test_cq.suite);
          ("pattern-tree", Test_pattern_tree.suite);
