@@ -51,7 +51,7 @@ let write_json path =
       []
       (List.rev !records)
   in
-  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 5,\n  \"experiments\": {\n";
+  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 6,\n  \"experiments\": {\n";
   let n_groups = List.length groups in
   List.iteri
     (fun gi (exp_id, cell) ->
@@ -885,6 +885,66 @@ let par_runtime () =
     !worst
 
 (* ---------------------------------------------------------------- *)
+(* RACE: data-race sanitizer overhead on the parallel primitives      *)
+(* ---------------------------------------------------------------- *)
+
+let race_sanitizer () =
+  section "RACE"
+    "Race sanitizer (WDPT_ENGINE_TSAN) overhead on parallel count/enum, answers cross-checked";
+  Format.printf
+    "per-chunk access logs with logical clocks, vector-clock validation at@.";
+  Format.printf
+    "the join; logging is O(distinct shared locations) per chunk, so the@.";
+  Format.printf
+    "overhead must stay a flat factor as |D| grows.@.";
+  let d0 = Engine.Parallel.domains () and m0 = Engine.Parallel.min_rows () in
+  let r0 = Engine.Parallel.race_check_enabled () in
+  let with_pool nd race f =
+    Engine.Parallel.set_domains nd;
+    Engine.Parallel.set_min_rows 1;
+    Engine.Parallel.set_race_check race;
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.Parallel.set_domains d0;
+        Engine.Parallel.set_min_rows m0;
+        Engine.Parallel.set_race_check r0)
+      f
+  in
+  let body = Cq.Query.body (Workload.Gen_cq.chain 4) in
+  print_row "  %8s  %6s  %12s  %12s  %9s  %7s@." "|D|" "prim" "plain(ms)"
+    "tsan(ms)" "overhead" "agree";
+  List.iter
+    (fun size ->
+      let db =
+        Workload.Gen_db.random_graph_db ~seed:31 ~nodes:(size / 4) ~edges:size
+      in
+      let p = Engine.compile db body ~init:Mapping.empty in
+      let reference = with_pool 1 false (fun () -> Engine.count_envs p) in
+      let row prim f =
+        let plain = ref 0 and tsan = ref 0 in
+        let t_plain = with_pool 2 false (fun () -> time_it (fun () -> plain := f ())) in
+        let t_tsan = with_pool 2 true (fun () -> time_it (fun () -> tsan := f ())) in
+        let agree = !plain = reference && !tsan = reference in
+        if not agree then failwith ("RACE: " ^ prim ^ " disagrees");
+        print_row "  %8d  %6s  %12.2f  %12.2f  %8.2fx  %7b@." size prim
+          (t_plain *. 1000.) (t_tsan *. 1000.) (t_tsan /. t_plain) agree;
+        record "RACE" (Printf.sprintf "%s |D|=%d plain" prim size) t_plain;
+        record "RACE" (Printf.sprintf "%s |D|=%d tsan" prim size) t_tsan
+      in
+      row "count" (fun () -> Engine.count_envs p);
+      row "enum" (fun () ->
+          let n = ref 0 in
+          Engine.iter_envs p (fun _ -> incr n);
+          !n))
+    (if !smoke then [ 200; 800 ] else [ 800; 1600; 3200 ]);
+  let s = Engine.Parallel.race_stats () in
+  print_row
+    "  sanitizer totals: %d region(s) validated, %d access record(s), %d race(s)  (acceptance: 0 races)@."
+    s.Engine.Parallel.rs_regions s.Engine.Parallel.rs_events
+    s.Engine.Parallel.rs_races;
+  if s.Engine.Parallel.rs_races > 0 then failwith "RACE: sanitizer reported races"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure          *)
 (* ---------------------------------------------------------------- *)
 
@@ -940,21 +1000,31 @@ let bechamel_suite () =
         results)
     tests
 
-let usage = "bench [--json OUT] [--smoke] [--only ID]"
+let usage = "bench [--json OUT] [--smoke] [--only ID] [--domains N] [--min-rows N]"
 
 let () =
   let args =
     [ ("--json", Arg.String (fun s -> json_out := Some s),
        "OUT  write per-experiment median timings as JSON");
       ("--smoke", Arg.Set smoke,
-       "  quick subset (t1a + engine + opt + par, reduced sizes) for CI");
+       "  quick subset (t1a + engine + opt + par + race, reduced sizes) for CI");
       ("--only", Arg.String (fun s -> only := Some s),
-       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine audit opt par bechamel)") ]
+       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine audit opt par race bechamel)");
+      ("--domains", Arg.Int (fun n ->
+           if n < 1 || n > 64 then raise (Arg.Bad "--domains: pool size must be within 1..64");
+           Engine.Parallel.set_domains n),
+       "N  ambient domain pool size for experiments that do not set their own (1..64)");
+      ("--min-rows", Arg.Int (fun n ->
+           if n < 1 then raise (Arg.Bad "--min-rows: threshold must be >= 1");
+           Engine.Parallel.set_min_rows n),
+       "N  ambient parallel-region row threshold (>= 1)") ]
   in
   Arg.parse args (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
   Format.printf "WDPT reproduction benchmarks (Barceló & Pichler, PODS 2015)@.";
   let want name =
-    if !smoke then name = "t1a" || name = "engine" || name = "opt" || name = "par"
+    if !smoke then
+      name = "t1a" || name = "engine" || name = "opt" || name = "par"
+      || name = "race"
     else match !only with None -> true | Some s -> s = name
   in
   if want "t1a" then t1_eval_tractable ();
@@ -972,6 +1042,7 @@ let () =
   if want "audit" then audit_overhead ();
   if want "opt" then opt_pipeline ();
   if want "par" then par_runtime ();
+  if want "race" then race_sanitizer ();
   if want "bechamel" then bechamel_suite ();
   (match !json_out with
   | Some path -> write_json path

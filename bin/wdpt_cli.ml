@@ -70,8 +70,41 @@ let or_die = function
       prerr_endline e;
       exit 1
 
+(* --domains / --min-rows: validated against the same bounds
+   Engine.Parallel.set_domains / set_min_rows clamp to (an out-of-bounds
+   value is an error here, not a silent clamp), then applied for the
+   duration of the command. Unset flags leave the ambient configuration
+   (WDPT_ENGINE_DOMAINS, default threshold) alone. *)
+let domains_arg =
+  let doc =
+    "Domain pool size for parallel enumeration (1-64; 1 = sequential). \
+     Overrides WDPT_ENGINE_DOMAINS."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let min_rows_arg =
+  let doc =
+    "Minimum top-level candidate rows before a parallel region is worth \
+     spawning (>= 1; default 128)."
+  in
+  Arg.(value & opt (some int) None & info [ "min-rows" ] ~docv:"N" ~doc)
+
+let apply_engine_config domains min_rows =
+  (match domains with
+  | Some n when n < 1 || n > 64 ->
+      or_die
+        (Error (Printf.sprintf "--domains %d: pool size must be within 1..64" n))
+  | Some n -> Engine.Parallel.set_domains n
+  | None -> ());
+  match min_rows with
+  | Some n when n < 1 ->
+      or_die (Error (Printf.sprintf "--min-rows %d: threshold must be >= 1" n))
+  | Some n -> Engine.Parallel.set_min_rows n
+  | None -> ()
+
 let eval_cmd =
-  let run query data maximal relational limit offset =
+  let run query data maximal relational limit offset domains min_rows =
+    apply_engine_config domains min_rows;
     let p = or_die (load_tree ~relational query) in
     let db = or_die (load_db ~relational data) in
     let print_answer h = Format.printf "%a@." Relational.Mapping.pp h in
@@ -140,7 +173,7 @@ let eval_cmd =
     (Cmd.info "eval"
        ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
     Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
-          $ offset)
+          $ offset $ domains_arg $ min_rows_arg)
 
 let classify_cmd =
   let run query k relational =
@@ -282,8 +315,42 @@ let lint_cmd =
              clean (hints only), 1 = warnings, 2 = errors.")
     Term.(const run $ query_arg $ json_arg $ format_arg $ relational_arg)
 
+(* With the sanitizer on, explain exercises it for real: one parallel count
+   over the plan under the current pool configuration, reporting the stats
+   delta. With it off (or a sequential decision) there is nothing to
+   observe, and the report says so. *)
+let race_report plan =
+  if not (Engine.Parallel.race_check_enabled ()) then None
+  else begin
+    let before = Engine.Parallel.race_stats () in
+    let verdict =
+      try
+        ignore (Engine.count_envs plan);
+        "clean"
+      with Engine.Race_failure _ -> "race"
+    in
+    let after = Engine.Parallel.race_stats () in
+    Some
+      ( after.Engine.Parallel.rs_regions - before.Engine.Parallel.rs_regions,
+        after.Engine.Parallel.rs_events - before.Engine.Parallel.rs_events,
+        after.Engine.Parallel.rs_races - before.Engine.Parallel.rs_races,
+        verdict )
+  end
+
+let race_json report =
+  match report with
+  | None -> Analysis.Json.Obj [ ("enabled", Analysis.Json.Bool false) ]
+  | Some (regions, events, races, verdict) ->
+      Analysis.Json.Obj
+        [ ("enabled", Analysis.Json.Bool true);
+          ("regions", Int regions);
+          ("events", Int events);
+          ("races", Int races);
+          ("verdict", Str verdict) ]
+
 let explain_cmd =
-  let run query data format relational opt =
+  let run query data format relational opt domains min_rows =
+    apply_engine_config domains min_rows;
     let lint_ds = lint_source ~relational query in
     let fatal =
       List.exists
@@ -320,9 +387,12 @@ let explain_cmd =
     let equiv_ds =
       match equiv with None -> [] | Some r -> Analysis.Equiv.diagnostics r
     in
-    let ds = lint_ds @ audit_ds @ equiv_ds in
+    let pview = Engine.Inspect.par plan in
+    let par_ds = Analysis.Par_audit.audit_view pview in
+    let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds in
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
     let partition = Engine.Parallel.decision plan in
+    let race = race_report plan in
     let tree_growth = Analysis.Cost.tree_growth p in
     (match format with
     | `Json ->
@@ -350,6 +420,8 @@ let explain_cmd =
              @ opt_fields
              @ [ ("cost", Analysis.Cost.to_json cost);
                  ("parallel", Analysis.Cost.parallel_json partition);
+                 ("par_audit", Analysis.Par_audit.par_json pview);
+                 ("race", race_json race);
                  ("tree", tree_json);
                  ( "exit-code",
                    Analysis.Json.Int (Analysis.Diagnostic.exit_code ds) ) ]))
@@ -370,6 +442,13 @@ let explain_cmd =
         | None -> ());
         Format.printf "@[<v>cost:@,%a@]@." Analysis.Cost.pp cost;
         Format.printf "@[<v>%a@]@." Analysis.Cost.pp_parallel partition;
+        Format.printf "@[<v>par-audit:@,%a@]@." Analysis.Par_audit.pp_par pview;
+        (match race with
+        | None -> Format.printf "race sanitizer: off@."
+        | Some (regions, events, races, verdict) ->
+            Format.printf
+              "race sanitizer: on — %d region(s), %d event(s), %d race(s): %s@."
+              regions events races verdict);
         Format.printf "tree: %a%s@." Analysis.Cost.pp_growth tree_growth
           (match Analysis.Cost.tree_class p with
           | Some (k, c) ->
@@ -397,10 +476,12 @@ let explain_cmd =
              verdict (E-series diagnostics over the IR) and width-based cost \
              bounds. With $(b,--opt), also the optimization pass trail with \
              per-pass translation-validation verdicts and the dataflow \
-             summary. Exit codes match $(b,lint): 0 = clean, 1 = warnings, 2 \
-             = errors.")
+             summary. Also audits the parallel execution plan (E011-E015) \
+             and, when WDPT_ENGINE_TSAN=1, runs the data-race sanitizer over \
+             one parallel count. Exit codes match $(b,lint): 0 = clean, 1 = \
+             warnings, 2 = errors.")
     Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg
-          $ opt_arg)
+          $ opt_arg $ domains_arg $ min_rows_arg)
 
 let check_cmd =
   let run query relational =

@@ -6,6 +6,7 @@
    Usage: wdpt_fuzz [SECONDS] [SEED]
           wdpt_fuzz --opt-diff [COUNT] [SEED]
           wdpt_fuzz --par-diff [COUNT] [SEED]
+          wdpt_fuzz --race-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
 
@@ -22,7 +23,16 @@
    domains (the min-rows threshold lowered to 1 so small draws still cross
    the parallel path), requiring identical answer sets at both the WDPT and
    the CQ level and an identical env-for-env enumeration order across two
-   parallel runs. *)
+   parallel runs.
+
+   --race-diff COUNT runs the race differential (default 300): on COUNT
+   random instances it draws a random pool size and chunking threshold,
+   turns the data-race sanitizer on (every parallel region logs its
+   shared-location accesses and validates them vector-clock-style after the
+   join), and cross-checks the sanitized parallel answers against the
+   sequential ones — zero Race_failure and identical answers expected. A
+   final fault-injection check flips the test-only corrupted reducer on and
+   requires the sanitizer to catch it. *)
 
 open Relational
 
@@ -195,6 +205,106 @@ let check_par_diff p db =
     [ 2; 4 ];
   !failures
 
+(* ---- race differential --------------------------------------------------- *)
+
+(* One instance of the --race-diff mode: a randomized pool size and min-rows
+   threshold (randomized chunking), the sanitizer on, answers cross-checked
+   against the sequential path. The sanitizer raising is itself a failure:
+   the genuine runtime must be race-free. *)
+let check_race_diff st p db =
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let nd = pick [ 2; 3; 4 ] in
+  let mr = pick [ 1; 2; 5 ] in
+  let with_sanitized f =
+    Engine.Parallel.set_domains nd;
+    Engine.Parallel.set_min_rows mr;
+    Engine.Parallel.set_race_check true;
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.Parallel.set_domains 1;
+        Engine.Parallel.set_min_rows 128;
+        Engine.Parallel.set_race_check false)
+      f
+  in
+  let q = Wdpt.Pattern_tree.q_full p in
+  let seq_wdpt = Wdpt.Semantics.eval db p in
+  let seq_cq = Cq.Eval.answers db q in
+  let tag s = Printf.sprintf "%s@%d-domains-min-rows-%d" s nd mr in
+  (try
+     with_sanitized (fun () ->
+         if not (Mapping.Set.equal (Wdpt.Semantics.eval db p) seq_wdpt) then
+           fail (tag "wdpt-eval");
+         if not (Mapping.Set.equal (Cq.Eval.answers db q) seq_cq) then
+           fail (tag "cq-eval");
+         let plan = Engine.compile db (Cq.Query.body q) ~init:Mapping.empty in
+         if Engine.count_envs plan <> Mapping.Set.cardinal seq_cq then
+           ignore (Engine.count_envs plan)
+         (* counts can legitimately exceed the answer-set cardinality (CQ
+            answers project and deduplicate); the count run exists to push
+            the count reducer through the sanitizer *))
+   with Engine.Race_failure msg -> fail (tag ("race: " ^ msg)));
+  !failures
+
+(* the seeded corrupted reducer must be caught: build one instance big
+   enough to chunk, flip fault injection on, and require Race_failure *)
+let check_fault_injection () =
+  let db =
+    Workload.Gen_db.random_graph_db ~seed:7 ~nodes:30 ~edges:60
+  in
+  let plan =
+    Engine.compile db
+      [ Atom.make "E" [ Term.var "x"; Term.var "y" ] ]
+      ~init:Mapping.empty
+  in
+  Engine.Parallel.set_domains 4;
+  Engine.Parallel.set_min_rows 1;
+  Engine.Parallel.set_race_check true;
+  Engine.Parallel.set_fault_injection true;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Parallel.set_fault_injection false;
+      Engine.Parallel.set_race_check false;
+      Engine.Parallel.set_domains 1;
+      Engine.Parallel.set_min_rows 128)
+    (fun () ->
+      try
+        ignore (Engine.count_envs plan);
+        false
+      with Engine.Race_failure _ -> true)
+
+let race_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      let st = Random.State.make [| !seed; 0x7ace |] in
+      match check_race_diff st p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  if not (check_fault_injection ()) then begin
+    incr bad;
+    Printf.printf "fault-injection NOT caught by the sanitizer\n%!"
+  end;
+  let stats = Engine.Parallel.race_stats () in
+  Printf.printf
+    "race-diff: %d instance(s) from seed %d (%d oversized skipped): %d \
+     failure(s); %d region(s) validated, %d access record(s), %d race(s) \
+     (the fault-injection race is expected)\n"
+    count seed0 !skipped !bad stats.Engine.Parallel.rs_regions
+    stats.Engine.Parallel.rs_events stats.Engine.Parallel.rs_races;
+  exit (if !bad = 0 then 0 else 1)
+
 let par_diff_main count seed0 =
   let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
   let seed = ref seed0 in
@@ -260,6 +370,15 @@ let () =
       if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
     in
     par_diff_main count seed0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--race-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    race_diff_main count seed0
   end;
   let seconds =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0

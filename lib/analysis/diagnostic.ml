@@ -22,6 +22,11 @@ type code =
   | Dropped_check
   | Reorder_violation
   | Cert_mismatch
+  | Chunk_coverage
+  | Unsound_reducer
+  | Cancel_drops
+  | Undeclared_write
+  | Version_skew
 
 let code_id = function
   | Parse_error -> "S001"
@@ -42,6 +47,11 @@ let code_id = function
   | Dropped_check -> "E008"
   | Reorder_violation -> "E009"
   | Cert_mismatch -> "E010"
+  | Chunk_coverage -> "E011"
+  | Unsound_reducer -> "E012"
+  | Cancel_drops -> "E013"
+  | Undeclared_write -> "E014"
+  | Version_skew -> "E015"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -62,6 +72,11 @@ let code_name = function
   | Dropped_check -> "dropped-check"
   | Reorder_violation -> "reorder-violates-dependency"
   | Cert_mismatch -> "certificate-plan-mismatch"
+  | Chunk_coverage -> "chunk-coverage"
+  | Unsound_reducer -> "order-unsound-reducer"
+  | Cancel_drops -> "cancellation-drops-answers"
+  | Undeclared_write -> "undeclared-shared-write"
+  | Version_skew -> "cross-domain-version-skew"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -70,6 +85,9 @@ let code_severity = function
   | Uninit_slot_read | Interner_range | Plan_arity_mismatch | Stale_plan -> Error
   | Dead_slot | Order_inversion -> Warning
   | Slot_renaming | Dropped_check | Reorder_violation | Cert_mismatch -> Error
+  | Chunk_coverage | Unsound_reducer | Cancel_drops | Undeclared_write
+  | Version_skew ->
+      Error
 
 type witness =
   | Disconnected of { variable : string; top : int; stray : int; broken_at : int }
@@ -107,6 +125,26 @@ type witness =
   | Dropped of { pass : string; atom : int; pos : int; before : string; after : string }
   | Reordered of { pass : string; position : int; atom : int; detail : string }
   | Cert of { pass : string; field : string; detail : string }
+  | Coverage of { chunk : int; lo : int; hi : int; expected_lo : int; rows : int }
+  | Reducer_unsound of { primitive : string; merge : string }
+  | Cancellation of { primitive : string; merge : string }
+  | Shared_write of {
+      site : string;
+      target : string;
+      declared : bool;
+      owner_only : bool;
+      kind : string;
+    }
+  | Skew of {
+      domain : int;
+      compiled : int;
+      store : int;
+      live : int;
+      ref_domain : int;
+      ref_compiled : int;
+      ref_store : int;
+      ref_live : int;
+    }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -262,6 +300,41 @@ let witness_json w =
   | Cert { pass; field; detail } ->
       kind "certificate-plan-mismatch"
         [ ("pass", Str pass); ("field", Str field); ("detail", Str detail) ]
+  | Coverage { chunk; lo; hi; expected_lo; rows } ->
+      kind "chunk-coverage"
+        [ ("chunk", Int chunk);
+          ("lo", Int lo);
+          ("hi", Int hi);
+          ("expected-lo", Int expected_lo);
+          ("rows", Int rows) ]
+  | Reducer_unsound { primitive; merge } ->
+      kind "order-unsound-reducer"
+        [ ("primitive", Str primitive); ("merge", Str merge) ]
+  | Cancellation { primitive; merge } ->
+      kind "cancellation-drops-answers"
+        [ ("primitive", Str primitive); ("merge", Str merge) ]
+  | Shared_write { site; target; declared; owner_only; kind = k } ->
+      kind "undeclared-shared-write"
+        [ ("site", Str site);
+          ("target", Str target);
+          ("declared", Bool declared);
+          ("owner-only", Bool owner_only);
+          ("target-kind", Str k) ]
+  | Skew { domain; compiled; store; live; ref_domain; ref_compiled; ref_store;
+           ref_live } ->
+      kind "cross-domain-version-skew"
+        [ ( "domain",
+            Obj
+              [ ("index", Int domain);
+                ("compiled", Int compiled);
+                ("store", Int store);
+                ("live", Int live) ] );
+          ( "reference",
+            Obj
+              [ ("index", Int ref_domain);
+                ("compiled", Int ref_compiled);
+                ("store", Int ref_store);
+                ("live", Int ref_live) ] ) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

@@ -53,7 +53,25 @@
     - [E010 certificate-plan-mismatch] — the certificate is structurally
       inconsistent with the before/after plans: wrong map lengths, targets
       out of range, non-injective maps, invented atoms or slots, changed
-      pool or feasibility, or claimed scores that do not recompute (error). *)
+      pool or feasibility, or claimed scores that do not recompute (error).
+
+    The E011–E015 codes are findings of the concurrency auditor
+    ({!Par_audit}) over the parallel execution plan
+    ({!Engine.Inspect.par_view}):
+
+    - [E011 chunk-coverage] — the chunk slices do not partition the
+      top-level candidate range [0, rows) exactly: a gap, an overlap, a
+      negative-width chunk, or a short/long tail (error);
+    - [E012 order-unsound-reducer] — a reducer for an order-sensitive
+      primitive whose merge is not chunk-order-preserving (error);
+    - [E013 cancellation-drops-answers] — a cancelling reducer reachable
+      from a primitive that needs every chunk's full answer set
+      (enumeration, count) (error);
+    - [E014 undeclared-shared-write] — a write site targeting state outside
+      the declared inventory, or a cross-chunk write targeting a non-atomic
+      (chunk-local) location (error);
+    - [E015 cross-domain-version-skew] — domains observing different
+      (compiled, store, live) snapshot triples of one shared plan (error). *)
 
 open Relational
 
@@ -78,6 +96,11 @@ type code =
   | Dropped_check  (** E008 *)
   | Reorder_violation  (** E009 *)
   | Cert_mismatch  (** E010 *)
+  | Chunk_coverage  (** E011 *)
+  | Unsound_reducer  (** E012 *)
+  | Cancel_drops  (** E013 *)
+  | Undeclared_write  (** E014 *)
+  | Version_skew  (** E015 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -174,6 +197,39 @@ type witness =
       detail : string;
     }  (** E009 *)
   | Cert of { pass : string; field : string; detail : string }  (** E010 *)
+  | Coverage of {
+      chunk : int;
+          (** offending chunk index; the chunk count itself when the
+              partition ends short of [rows] *)
+      lo : int;
+      hi : int;
+      expected_lo : int;
+          (** where the chunk had to start (the previous chunk's [hi], 0 for
+              the first): [lo > expected_lo] is a gap, [lo < expected_lo] an
+              overlap *)
+      rows : int;  (** the candidate range is [0, rows) *)
+    }  (** E011 *)
+  | Reducer_unsound of { primitive : string; merge : string }  (** E012 *)
+  | Cancellation of { primitive : string; merge : string }  (** E013 *)
+  | Shared_write of {
+      site : string;
+      target : string;
+      declared : bool;  (** the target appears in the shared inventory *)
+      owner_only : bool;  (** only the owning chunk performs the write *)
+      kind : string;
+          (** declared kind of the target (["atomic"] / ["chunk-local"]),
+              ["undeclared"] when absent *)
+    }  (** E014 *)
+  | Skew of {
+      domain : int;  (** first domain whose triple deviates *)
+      compiled : int;
+      store : int;
+      live : int;
+      ref_domain : int;  (** the reference domain (first of the region) *)
+      ref_compiled : int;
+      ref_store : int;
+      ref_live : int;
+    }  (** E015 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

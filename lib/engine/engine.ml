@@ -877,6 +877,10 @@ exception Check_failure of string
 
 let check_fail fmt = Format.kasprintf (fun s -> raise (Check_failure s)) fmt
 
+exception Race_failure of string
+
+let race_fail fmt = Format.kasprintf (fun s -> raise (Race_failure s)) fmt
+
 let checked =
   Atomic.make
     (match Sys.getenv_opt "WDPT_ENGINE_CHECKED" with
@@ -1204,21 +1208,161 @@ module Parallel = struct
 
   let nchunks_for nd count = min count (nd * 4)
 
+  (* ---- data-race sanitizer ----------------------------------------- *)
+
+  (* When enabled, every parallel region logs its shared-location accesses
+     into per-chunk event buffers and validates, after the join, that no
+     two unordered conflicting accesses occurred. The happens-before order
+     of a region is fork -> each chunk -> join: chunks carry independent
+     logical clocks with no cross edges (a chunk never waits on another),
+     so in vector-clock terms two accesses to the same location from
+     different chunks are always unordered — a race whenever the location
+     is non-atomic and at least one access is a write. Atomic locations
+     are exempt: the hardware totally orders them. *)
+  let race_flag =
+    Atomic.make
+      (match Sys.getenv_opt "WDPT_ENGINE_TSAN" with
+      | Some ("1" | "true" | "yes") -> true
+      | _ -> false)
+
+  let set_race_check b = Atomic.set race_flag b
+  let race_check_enabled () = Atomic.get race_flag
+
+  (* test-only seeded fault: each count/enum chunk additionally stores into
+     a peer chunk's cell (value-neutral), exactly the corrupted-reducer
+     shape the sanitizer must catch *)
+  let fault_flag = Atomic.make false
+  let set_fault_injection b = Atomic.set fault_flag b
+  let fault_injection_enabled () = Atomic.get fault_flag
+
+  (* the shared locations of a region, by role; [Chunk_cell i] stands for
+     chunk [i]'s slot of the per-chunk result array (buffer or count cell),
+     which only chunk [i] may write *)
+  type shared_loc =
+    | Next_counter
+    | Error_slot
+    | Cancel_flag
+    | Chunk_cell of int
+
+  let loc_atomic = function
+    | Next_counter | Error_slot | Cancel_flag -> true
+    | Chunk_cell _ -> false
+
+  let loc_name = function
+    | Next_counter -> "chunk-dispatch-counter"
+    | Error_slot -> "error-slot"
+    | Cancel_flag -> "cancel-flag"
+    | Chunk_cell i -> Printf.sprintf "chunk cell %d" i
+
+  (* One access record per (location, kind) a chunk performs: the logical
+     clock of the first access plus a repetition count, so logging stays
+     O(distinct locations) even for locations polled once per candidate row
+     (the cancel flag is). Each chunk mutates only its own cell of
+     [tr_events]/[tr_clock] — the sanitizer introduces no shared writes of
+     its own. *)
+  type access = {
+    ac_loc : shared_loc;
+    ac_write : bool;
+    ac_chunk : int;
+    ac_clock : int;
+    mutable ac_count : int;
+  }
+
+  type trace = { tr_events : access list array; tr_clock : int array }
+
+  let make_trace nchunks =
+    { tr_events = Array.make nchunks []; tr_clock = Array.make nchunks 0 }
+
+  let log_access tr chunk loc ~write =
+    match
+      List.find_opt
+        (fun a -> a.ac_loc = loc && a.ac_write = write)
+        tr.tr_events.(chunk)
+    with
+    | Some a -> a.ac_count <- a.ac_count + 1
+    | None ->
+        let c = tr.tr_clock.(chunk) in
+        tr.tr_clock.(chunk) <- c + 1;
+        tr.tr_events.(chunk) <-
+          { ac_loc = loc; ac_write = write; ac_chunk = chunk; ac_clock = c;
+            ac_count = 1 }
+          :: tr.tr_events.(chunk)
+
+  type race_stats = { rs_regions : int; rs_events : int; rs_races : int }
+
+  let regions_checked = Atomic.make 0
+  let events_logged = Atomic.make 0
+  let races_found = Atomic.make 0
+
+  let race_stats () =
+    { rs_regions = Atomic.get regions_checked;
+      rs_events = Atomic.get events_logged;
+      rs_races = Atomic.get races_found }
+
+  let reset_race_stats () =
+    Atomic.set regions_checked 0;
+    Atomic.set events_logged 0;
+    Atomic.set races_found 0
+
+  let rec find_conflict = function
+    | [] -> None
+    | a :: rest -> (
+        match
+          List.find_opt
+            (fun b ->
+              a.ac_loc = b.ac_loc
+              && (not (loc_atomic a.ac_loc))
+              && a.ac_chunk <> b.ac_chunk
+              && (a.ac_write || b.ac_write))
+            rest
+        with
+        | Some b -> Some (a, b)
+        | None -> find_conflict rest)
+
+  (* Runs on the calling domain after every worker has joined, so reading
+     the per-chunk buffers is ordered-after every log. *)
+  let validate_trace tr =
+    let all = List.concat (Array.to_list tr.tr_events) in
+    Atomic.incr regions_checked;
+    ignore (Atomic.fetch_and_add events_logged (List.length all));
+    match find_conflict all with
+    | None -> ()
+    | Some (a, b) ->
+        Atomic.incr races_found;
+        let kind x = if x.ac_write then "write" else "read" in
+        race_fail
+          "data race on %s: unordered %s by chunk %d (clock %d) and %s by \
+           chunk %d (clock %d)"
+          (loc_name a.ac_loc) (kind a) a.ac_chunk a.ac_clock (kind b) b.ac_chunk
+          b.ac_clock
+
   (* Drain chunk ids [0, nchunks) on [nd] domains — the calling domain
      participates, so [nd - 1] are spawned — pulling work off a shared
      atomic counter. The first exception wins, stops the drain on every
-     domain, and is re-raised here after all domains are joined. *)
-  let run_chunks ~nd ~nchunks work =
+     domain, and is re-raised here after all domains are joined. With a
+     trace, the dispatch traffic itself (counter bump, error-slot poll and
+     store) is logged like any other shared access. *)
+  let run_chunks ?trace ~nd ~nchunks work =
     let next = Atomic.make 0 in
     let err = Atomic.make None in
+    let log chunk loc ~write =
+      match trace with
+      | Some tr -> log_access tr chunk loc ~write
+      | None -> ()
+    in
     let drain () =
       let running = ref true in
       while !running do
         let i = Atomic.fetch_and_add next 1 in
         if i >= nchunks || Option.is_some (Atomic.get err) then running := false
-        else
+        else begin
+          log i Next_counter ~write:true;
+          log i Error_slot ~write:false;
           try work i
-          with e -> ignore (Atomic.compare_and_set err None (Some e))
+          with e ->
+            log i Error_slot ~write:true;
+            ignore (Atomic.compare_and_set err None (Some e))
+        end
       done
     in
     let workers =
@@ -1265,13 +1409,30 @@ module Parallel = struct
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let buffers = Array.make nchunks [] in
+        let trace =
+          if Atomic.get race_flag then Some (make_trace nchunks) else None
+        in
+        let inject = Atomic.get fault_flag in
+        let log i loc ~write =
+          match trace with
+          | Some tr -> log_access tr i loc ~write
+          | None -> ()
+        in
         Fun.protect ~finally:leave (fun () ->
-            run_chunks ~nd ~nchunks (fun i ->
+            run_chunks ?trace ~nd ~nchunks (fun i ->
                 let lo, hi = bounds.(i) in
                 let buf = ref [] in
                 interp p fc ~lo ~hi ~cancel:no_cancel (fun env ->
                     buf := Array.copy env :: !buf);
-                buffers.(i) <- List.rev !buf));
+                log i (Chunk_cell i) ~write:true;
+                buffers.(i) <- List.rev !buf;
+                if inject && nchunks > 1 then begin
+                  (* seeded fault: value-neutral store into a peer's cell *)
+                  let j = (i + 1) mod nchunks in
+                  log i (Chunk_cell j) ~write:true;
+                  buffers.(j) <- buffers.(j)
+                end);
+            Option.iter validate_trace trace);
         Array.iter (List.iter f) buffers
 
   (* [count p]: per-chunk counts, summed. *)
@@ -1286,12 +1447,29 @@ module Parallel = struct
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let counts = Array.make nchunks 0 in
+        let trace =
+          if Atomic.get race_flag then Some (make_trace nchunks) else None
+        in
+        let inject = Atomic.get fault_flag in
+        let log i loc ~write =
+          match trace with
+          | Some tr -> log_access tr i loc ~write
+          | None -> ()
+        in
         Fun.protect ~finally:leave (fun () ->
-            run_chunks ~nd ~nchunks (fun i ->
+            run_chunks ?trace ~nd ~nchunks (fun i ->
                 let lo, hi = bounds.(i) in
                 let n = ref 0 in
                 interp p fc ~lo ~hi ~cancel:no_cancel (fun _ -> incr n);
-                counts.(i) <- !n));
+                log i (Chunk_cell i) ~write:true;
+                counts.(i) <- !n;
+                if inject && nchunks > 1 then begin
+                  (* seeded fault: value-neutral store into a peer's cell *)
+                  let j = (i + 1) mod nchunks in
+                  log i (Chunk_cell j) ~write:true;
+                  counts.(j) <- counts.(j)
+                end);
+            Option.iter validate_trace trace);
         Array.fold_left ( + ) 0 counts
 
   exception Hit
@@ -1310,14 +1488,28 @@ module Parallel = struct
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let found = Atomic.make false in
-        let cancel () = Atomic.get found in
+        let trace =
+          if Atomic.get race_flag then Some (make_trace nchunks) else None
+        in
+        let log i loc ~write =
+          match trace with
+          | Some tr -> log_access tr i loc ~write
+          | None -> ()
+        in
         Fun.protect ~finally:leave (fun () ->
-            run_chunks ~nd ~nchunks (fun i ->
-                if not (Atomic.get found) then begin
+            run_chunks ?trace ~nd ~nchunks (fun i ->
+                let cancel () =
+                  log i Cancel_flag ~write:false;
+                  Atomic.get found
+                in
+                if not (cancel ()) then begin
                   let lo, hi = bounds.(i) in
                   try interp p fc ~lo ~hi ~cancel (fun _ -> raise Hit)
-                  with Hit -> Atomic.set found true
-                end));
+                  with Hit ->
+                    log i Cancel_flag ~write:true;
+                    Atomic.set found true
+                end);
+            Option.iter validate_trace trace);
         Atomic.get found
 
   (* the partitioning decision for a plan under the current configuration,
@@ -1432,6 +1624,114 @@ module Inspect = struct
       i_compiled_version = p.compiled_at;
       i_store_version = p.cdb.Db.db_version;
       i_live_version = Database.version p.src_db }
+
+  (* ---- the parallel execution plan, as plain data ------------------ *)
+
+  type shared_kind =
+    | Atomic_cell
+    | Chunk_local
+
+  type shared_view = { s_name : string; s_kind : shared_kind }
+
+  type write_view = { w_site : string; w_target : string; w_owner_only : bool }
+
+  type reducer_view = {
+    r_primitive : string;
+    r_merge : string;
+    r_ordered : bool;
+    r_order_preserving : bool;
+    r_total : bool;
+    r_cancelling : bool;
+  }
+
+  type par_view = {
+    pv_domains : int;
+    pv_min_rows : int;
+    pv_atom : int option;
+    pv_rows : int;
+    pv_sequential : bool;
+    pv_reason : string;
+    pv_chunks : (int * int) array;
+    pv_reducers : reducer_view array;
+    pv_shared : shared_view array;
+    pv_writes : write_view array;
+    pv_snapshots : (int * int * int) array;
+  }
+
+  (* The genuine view is re-derived from the same pure functions the runtime
+     partitions with (select_first via Parallel.decision, nchunks_for,
+     chunk_bounds), so auditing it certifies the decision the region will
+     actually take — not a description that could drift. *)
+  let par (p : t) =
+    let d = Parallel.decision p in
+    let chunks = Parallel.chunk_bounds d.Parallel.d_rows d.Parallel.d_chunks in
+    let reducers =
+      [| { r_primitive = "enum";
+           r_merge = "chunk-order-concat";
+           r_ordered = true;
+           r_order_preserving = true;
+           r_total = true;
+           r_cancelling = false };
+         { r_primitive = "count";
+           r_merge = "sum";
+           r_ordered = false;
+           r_order_preserving = false;
+           r_total = true;
+           r_cancelling = false };
+         { r_primitive = "sat";
+           r_merge = "first-witness";
+           r_ordered = false;
+           r_order_preserving = false;
+           r_total = false;
+           r_cancelling = true } |]
+    in
+    let shared =
+      [| { s_name = "chunk-dispatch-counter"; s_kind = Atomic_cell };
+         { s_name = "error-slot"; s_kind = Atomic_cell };
+         { s_name = "cancel-flag"; s_kind = Atomic_cell };
+         { s_name = "region-guard"; s_kind = Atomic_cell };
+         { s_name = "chunk-buffers"; s_kind = Chunk_local };
+         { s_name = "chunk-counts"; s_kind = Chunk_local } |]
+    in
+    let writes =
+      [ { w_site = "chunk-dispatch";
+          w_target = "chunk-dispatch-counter";
+          w_owner_only = false };
+        { w_site = "first-failure"; w_target = "error-slot"; w_owner_only = false };
+        { w_site = "sat-witness"; w_target = "cancel-flag"; w_owner_only = false };
+        { w_site = "region-enter-leave";
+          w_target = "region-guard";
+          w_owner_only = false };
+        { w_site = "enum-solution-buffer";
+          w_target = "chunk-buffers";
+          w_owner_only = true };
+        { w_site = "count-accumulate";
+          w_target = "chunk-counts";
+          w_owner_only = true } ]
+    in
+    (* the seeded fault is an honest part of the runtime while enabled, so
+       the static view declares its cross-chunk store — and E014 flags it *)
+    let writes =
+      if Parallel.fault_injection_enabled () then
+        writes
+        @ [ { w_site = "fault-injection";
+              w_target = "chunk-counts";
+              w_owner_only = false } ]
+      else writes
+    in
+    { pv_domains = d.Parallel.d_domains;
+      pv_min_rows = Parallel.min_rows ();
+      pv_atom = d.Parallel.d_atom;
+      pv_rows = d.Parallel.d_rows;
+      pv_sequential = d.Parallel.d_chunks <= 1;
+      pv_reason = d.Parallel.d_reason;
+      pv_chunks = chunks;
+      pv_reducers = reducers;
+      pv_shared = shared;
+      pv_writes = Array.of_list writes;
+      pv_snapshots =
+        Array.make d.Parallel.d_domains
+          (p.compiled_at, p.cdb.Db.db_version, Database.version p.src_db) }
 
   (* the optimization trail: (view of the plan before each pass, certificate)
      per stage, plus the final view — everything Analysis.Equiv needs *)

@@ -197,6 +197,48 @@ module Parallel : sig
 
   val min_rows : unit -> int
 
+  (** [chunk_bounds count nchunks]: the [nchunks] near-equal contiguous
+      slices of [0, count) as [(lo, hi)] pairs — the exact partition a
+      region uses (and the one [Analysis.Par_audit] E011 re-checks). *)
+  val chunk_bounds : int -> int -> (int * int) array
+
+  (** [nchunks_for nd count = min count (nd * 4)]: chunks per region for a
+      pool of [nd] over [count] candidate rows. *)
+  val nchunks_for : int -> int -> int
+
+  (** {2 Data-race sanitizer}
+
+      When enabled — [WDPT_ENGINE_TSAN=1] in the environment, or
+      {!set_race_check} — every parallel region logs its shared-location
+      accesses (dispatch counter, error slot, cancel flag, per-chunk result
+      cells) into per-chunk event buffers with per-chunk logical clocks, and
+      validates after the join that no two unordered conflicting accesses
+      occurred: chunks have no happens-before edges between each other (only
+      fork and join), so any two accesses to the same non-atomic location
+      from different chunks with at least one write constitute a race —
+      reported by raising {!Race_failure}. Atomic locations are exempt.
+      Logging is deduplicated per (location, access kind, chunk), so the
+      overhead is O(distinct locations) per chunk plus one lookup per
+      logged access. *)
+
+  val set_race_check : bool -> unit
+  val race_check_enabled : unit -> bool
+
+  (** Cumulative sanitizer counters: regions validated, access records
+      logged, races found (a found race also raises). *)
+  type race_stats = { rs_regions : int; rs_events : int; rs_races : int }
+
+  val race_stats : unit -> race_stats
+  val reset_race_stats : unit -> unit
+
+  (** Test-only seeded fault: while enabled, each parallel count/enum chunk
+      additionally performs a value-neutral store into a peer chunk's result
+      cell — a deliberately corrupted reducer the sanitizer must catch (and
+      {!Inspect.par} declares, so [Analysis.Par_audit] E014 flags it too). *)
+  val set_fault_injection : bool -> unit
+
+  val fault_injection_enabled : unit -> bool
+
   (** The partitioning decision for a plan under the current configuration,
       as plain data (reported by [explain] and {!Analysis.Cost}). *)
   type decision = {
@@ -276,6 +318,62 @@ module Inspect : sig
   (** Snapshot the IR of a compiled plan. *)
   val plan : t -> view
 
+  (** {2 The parallel execution plan}
+
+      Plain-data view of the partitioning decision a parallel region would
+      take for this plan under the current configuration, re-derived from
+      the same pure functions the runtime uses ({!Parallel.decision},
+      {!Parallel.nchunks_for}, {!Parallel.chunk_bounds}) — what
+      [Analysis.Par_audit] verifies (E011–E015). *)
+
+  (** How a declared shared location is protected: a hardware-ordered atomic
+      cell, or chunk-local state only its owning chunk may write. *)
+  type shared_kind =
+    | Atomic_cell
+    | Chunk_local
+
+  type shared_view = { s_name : string; s_kind : shared_kind }
+
+  (** One shared-state write site of the region: where it writes, what it
+      targets, and whether only the owning chunk performs it. *)
+  type write_view = { w_site : string; w_target : string; w_owner_only : bool }
+
+  (** One per-primitive reducer: how chunk results merge. [r_ordered]
+      primitives have order-sensitive observable output, so their merge must
+      be chunk-order-preserving (E012); [r_total] primitives need every
+      chunk's full answer set, so they must not cancel peers (E013). *)
+  type reducer_view = {
+    r_primitive : string;  (** ["enum"] / ["count"] / ["sat"] *)
+    r_merge : string;
+        (** ["chunk-order-concat"] / ["sum"] / ["first-witness"] *)
+    r_ordered : bool;
+    r_order_preserving : bool;
+    r_total : bool;
+    r_cancelling : bool;
+  }
+
+  type par_view = {
+    pv_domains : int;  (** configured pool size *)
+    pv_min_rows : int;  (** parallelism threshold ({!Parallel.min_rows}) *)
+    pv_atom : int option;  (** re-derived top-level atom (plan index) *)
+    pv_rows : int;  (** top-level candidate rows *)
+    pv_sequential : bool;  (** true when the region falls back to one chunk *)
+    pv_reason : string;  (** why parallel / why sequential *)
+    pv_chunks : (int * int) array;
+        (** the [(lo, hi)] slices; must partition [0, pv_rows) exactly
+            (E011). [[|(0, 0)|]] for a rowless plan. *)
+    pv_reducers : reducer_view array;
+    pv_shared : shared_view array;  (** declared shared-state inventory *)
+    pv_writes : write_view array;
+        (** every write must target a declared location, and cross-chunk
+            writes only atomic ones (E014) *)
+    pv_snapshots : (int * int * int) array;
+        (** per domain: (compiled, store, live) version triple; all domains
+            share one plan so skew is a defect (E015) *)
+  }
+
+  val par : t -> par_view
+
   (** The optimization trail: one [(view of the plan before the pass,
       certificate)] pair per pass, plus the final view. [([], plan p)] for
       unoptimized plans. *)
@@ -311,3 +409,8 @@ exception Check_failure of string
 
 val set_checked : bool -> unit
 val checked_enabled : unit -> bool
+
+(** Raised by the data-race sanitizer ({!Parallel.set_race_check} /
+    [WDPT_ENGINE_TSAN=1]) when a parallel region performed two unordered
+    conflicting accesses to the same non-atomic shared location. *)
+exception Race_failure of string

@@ -17,6 +17,7 @@ let () =
        [ ("relational", Test_relational.suite);
          ("engine", Test_engine.suite);
          ("parallel", Test_parallel.suite);
+         ("par-audit", Test_par_audit.suite);
          ("hypergraph", Test_hypergraph.suite);
          ("cq", Test_cq.suite);
          ("pattern-tree", Test_pattern_tree.suite);

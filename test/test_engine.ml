@@ -190,8 +190,62 @@ let test_rel_ops () =
   check_bool "self loop absent" true
     (Engine.Rel.is_empty (Engine.Rel.of_atom db (atom "E" [ v "x"; v "x" ])))
 
+(* ---- answer paging boundaries ------------------------------------------ *)
+
+(* the streamed page (stream_projections, first-seen order, early exit) and
+   the materialized sorted page (Mapping.Set.elements sliced by the CLI's
+   OPT-branch path) at their boundaries: offset at / past the answer count,
+   limit 0, and page-by-page reassembly of the full answer set on both paths *)
+let test_paging_boundaries () =
+  let db = db_of_edges [ (1, 2); (2, 3); (3, 4); (1, 3); (2, 4) ] in
+  let atoms = [ e "x" "y" ] in
+  let onto = [ "x" ] in
+  let stream ~offset ~limit =
+    let out = ref [] in
+    let n =
+      Engine.stream_projections db atoms ~init:Mapping.empty ~onto ~offset
+        ~limit (fun m -> out := m :: !out)
+    in
+    check_int "emitted = returned" (List.length !out) n;
+    List.rev !out
+  in
+  let full = stream ~offset:0 ~limit:None in
+  let count = List.length full in
+  check_int "distinct projections" 3 count;
+  (* offset exactly at the count, and past it: empty page, no error *)
+  check_int "offset = count" 0 (List.length (stream ~offset:count ~limit:None));
+  check_int "offset past count" 0
+    (List.length (stream ~offset:(count + 7) ~limit:(Some 2)));
+  (* limit 0: empty page whatever the offset *)
+  check_int "limit 0" 0 (List.length (stream ~offset:0 ~limit:(Some 0)));
+  check_int "limit 0 offset 1" 0 (List.length (stream ~offset:1 ~limit:(Some 0)));
+  (* a middle page is exactly the slice of the full stream *)
+  let page = stream ~offset:1 ~limit:(Some 2) in
+  check_bool "middle page = stream slice" true
+    (page = (List.filteri (fun i _ -> i >= 1 && i < 3) full));
+  (* short last page: limit overshooting the tail *)
+  check_int "short last page" 1
+    (List.length (stream ~offset:(count - 1) ~limit:(Some 5)));
+  (* page-by-page reassembly: streamed pages concatenate to the full stream,
+     sorted pages concatenate to the sorted elements, and both cover the
+     same answer set *)
+  let streamed = stream ~offset:0 ~limit:(Some 2) @ stream ~offset:2 ~limit:(Some 2) in
+  check_bool "streamed pages reassemble" true (streamed = full);
+  let sorted =
+    Mapping.Set.elements (Mapping.Set.of_list full)
+  in
+  let sorted_page off lim =
+    List.filteri (fun i _ -> i >= off && i < off + lim) sorted
+  in
+  check_bool "sorted pages reassemble" true
+    (sorted_page 0 2 @ sorted_page 2 2 = sorted);
+  check_bool "both paths cover the same answers" true
+    (Mapping.Set.equal (Mapping.Set.of_list streamed)
+       (Mapping.Set.of_list (sorted_page 0 2 @ sorted_page 2 2)))
+
 let suite =
   [ Alcotest.test_case "interner" `Quick test_interner;
+    Alcotest.test_case "paging boundaries" `Quick test_paging_boundaries;
     Alcotest.test_case "tuples" `Quick test_tuple;
     Alcotest.test_case "counted indexes" `Quick test_counted_index;
     Alcotest.test_case "compiled cache invalidation" `Quick test_cache_invalidation;

@@ -116,6 +116,35 @@ let test_incremental_extension () =
   let rebuilt = Cq.Eval.answers db (Cq.Query.make ~head:[ "x" ] ~body:[ e "x" "y" ]) in
   check_bool "extension = rebuild" true (Mapping.Set.equal after rebuilt)
 
+(* the catch-up feed at its boundaries: an up-to-date reader gets an empty
+   batch, a reader claiming a version from the future gets an empty batch
+   (never a negative take or an exception), and extending after a cache
+   clear rebuilds to the same answers as extending a live cache *)
+let test_facts_since_edges () =
+  let db = db_of_edges [ (1, 2); (2, 3) ] in
+  let now = Database.version db in
+  check_bool "up to date: empty batch" true (Database.facts_since db now = []);
+  check_bool "future version: empty batch" true
+    (Database.facts_since db (now + 5) = []);
+  Database.add db (Fact.make "E" [ Value.int 3; Value.int 4 ]);
+  check_bool "one-fact batch" true
+    (Database.facts_since db now = [ Fact.make "E" [ Value.int 3; Value.int 4 ] ]);
+  check_bool "caught up again" true
+    (Database.facts_since db (Database.version db) = []);
+  (* an add that lands after clear_cache (no compiled form to extend in
+     place) must be indistinguishable from an incremental extension *)
+  let q = Cq.Query.make ~head:[ "x" ] ~body:[ e "x" "y" ] in
+  let live = db_of_edges [ (1, 2); (2, 3) ] in
+  ignore (Cq.Eval.answers live q);
+  Database.add live (Fact.make "E" [ Value.int 3; Value.int 4 ]);
+  let incremental = Cq.Eval.answers live q in
+  let cleared = db_of_edges [ (1, 2); (2, 3) ] in
+  ignore (Cq.Eval.answers cleared q);
+  Database.clear_cache cleared;
+  Database.add cleared (Fact.make "E" [ Value.int 3; Value.int 4 ]);
+  check_bool "add after clear_cache = incremental extension" true
+    (Mapping.Set.equal (Cq.Eval.answers cleared q) incremental)
+
 let test_e006_extended () =
   let db = db_of_edges [ (1, 2); (2, 3) ] in
   let plan = Engine.compile db [ e "x" "y" ] ~init:Mapping.empty in
@@ -210,6 +239,7 @@ let suite =
     Alcotest.test_case "reducers" `Quick test_reducers;
     Alcotest.test_case "region re-entrancy" `Quick test_reentrancy;
     Alcotest.test_case "incremental extension" `Quick test_incremental_extension;
+    Alcotest.test_case "facts_since edge cases" `Quick test_facts_since_edges;
     Alcotest.test_case "E006 extended vs detached" `Quick test_e006_extended;
     prop_parallel_answers_agree;
     prop_parallel_wdpt_agree;
