@@ -89,22 +89,37 @@ let min_rows_arg =
   in
   Arg.(value & opt (some int) None & info [ "min-rows" ] ~docv:"N" ~doc)
 
-let apply_engine_config domains min_rows =
+let morsel_rows_arg =
+  let doc =
+    "Morsel size: rows per parallel chunk and per batch group of the \
+     vectorized interpreter (>= 1; default 1024). Overrides \
+     WDPT_ENGINE_MORSEL."
+  in
+  Arg.(value & opt (some int) None & info [ "morsel-rows" ] ~docv:"N" ~doc)
+
+let apply_engine_config domains min_rows morsel_rows =
   (match domains with
   | Some n when n < 1 || n > 64 ->
       or_die
         (Error (Printf.sprintf "--domains %d: pool size must be within 1..64" n))
   | Some n -> Engine.Parallel.set_domains n
   | None -> ());
-  match min_rows with
+  (match min_rows with
   | Some n when n < 1 ->
       or_die (Error (Printf.sprintf "--min-rows %d: threshold must be >= 1" n))
   | Some n -> Engine.Parallel.set_min_rows n
+  | None -> ());
+  match morsel_rows with
+  | Some n when n < 1 ->
+      or_die
+        (Error (Printf.sprintf "--morsel-rows %d: morsel size must be >= 1" n))
+  | Some n -> Engine.Parallel.set_morsel_rows n
   | None -> ()
 
 let eval_cmd =
-  let run query data maximal relational limit offset domains min_rows =
-    apply_engine_config domains min_rows;
+  let run query data maximal relational limit offset domains min_rows
+      morsel_rows =
+    apply_engine_config domains min_rows morsel_rows;
     let p = or_die (load_tree ~relational query) in
     let db = or_die (load_db ~relational data) in
     let print_answer h = Format.printf "%a@." Relational.Mapping.pp h in
@@ -173,7 +188,7 @@ let eval_cmd =
     (Cmd.info "eval"
        ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
     Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
-          $ offset $ domains_arg $ min_rows_arg)
+          $ offset $ domains_arg $ min_rows_arg $ morsel_rows_arg)
 
 let classify_cmd =
   let run query k relational =
@@ -349,8 +364,8 @@ let race_json report =
           ("verdict", Str verdict) ]
 
 let explain_cmd =
-  let run query data format relational opt domains min_rows =
-    apply_engine_config domains min_rows;
+  let run query data format relational opt domains min_rows morsel_rows =
+    apply_engine_config domains min_rows morsel_rows;
     let lint_ds = lint_source ~relational query in
     let fatal =
       List.exists
@@ -388,6 +403,7 @@ let explain_cmd =
       match equiv with None -> [] | Some r -> Analysis.Equiv.diagnostics r
     in
     let pview = Engine.Inspect.par plan in
+    let bview = Engine.Inspect.batch plan in
     let par_ds = Analysis.Par_audit.audit_view pview in
     let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds in
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
@@ -421,6 +437,7 @@ let explain_cmd =
              @ [ ("cost", Analysis.Cost.to_json cost);
                  ("parallel", Analysis.Cost.parallel_json partition);
                  ("par_audit", Analysis.Par_audit.par_json pview);
+                 ("batch", Analysis.Par_audit.batch_json bview);
                  ("race", race_json race);
                  ("tree", tree_json);
                  ( "exit-code",
@@ -443,6 +460,7 @@ let explain_cmd =
         Format.printf "@[<v>cost:@,%a@]@." Analysis.Cost.pp cost;
         Format.printf "@[<v>%a@]@." Analysis.Cost.pp_parallel partition;
         Format.printf "@[<v>par-audit:@,%a@]@." Analysis.Par_audit.pp_par pview;
+        Format.printf "@[<v>%a@]@." Analysis.Par_audit.pp_batch bview;
         (match race with
         | None -> Format.printf "race sanitizer: off@."
         | Some (regions, events, races, verdict) ->
@@ -476,12 +494,13 @@ let explain_cmd =
              verdict (E-series diagnostics over the IR) and width-based cost \
              bounds. With $(b,--opt), also the optimization pass trail with \
              per-pass translation-validation verdicts and the dataflow \
-             summary. Also audits the parallel execution plan (E011-E015) \
-             and, when WDPT_ENGINE_TSAN=1, runs the data-race sanitizer over \
-             one parallel count. Exit codes match $(b,lint): 0 = clean, 1 = \
-             warnings, 2 = errors.")
+             summary. Also audits the parallel execution plan (E011-E016), \
+             reports the batched-execution decision (stage pipeline, \
+             columnar layout, morsel geometry) and, when WDPT_ENGINE_TSAN=1, \
+             runs the data-race sanitizer over one parallel count. Exit \
+             codes match $(b,lint): 0 = clean, 1 = warnings, 2 = errors.")
     Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg
-          $ opt_arg $ domains_arg $ min_rows_arg)
+          $ opt_arg $ domains_arg $ min_rows_arg $ morsel_rows_arg)
 
 let check_cmd =
   let run query relational =

@@ -7,6 +7,7 @@
           wdpt_fuzz --opt-diff [COUNT] [SEED]
           wdpt_fuzz --par-diff [COUNT] [SEED]
           wdpt_fuzz --race-diff [COUNT] [SEED]
+          wdpt_fuzz --batch-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
 
@@ -32,7 +33,16 @@
    join), and cross-checks the sanitized parallel answers against the
    sequential ones — zero Race_failure and identical answers expected. A
    final fault-injection check flips the test-only corrupted reducer on and
-   requires the sanitizer to catch it. *)
+   requires the sanitizer to catch it.
+
+   --batch-diff COUNT runs the batched-execution differential (default
+   300): on COUNT random instances it evaluates once with the vectorized
+   interpreter off (scalar tuple-at-a-time) and once with it on, at domain
+   pools of 1 and 2 — the answer sets must be identical at both the WDPT
+   and the CQ level (the enumeration orders legitimately differ: the
+   batched pipeline runs atoms in the fixed static order while the scalar
+   path re-selects per node). A small random morsel size forces group
+   boundaries through even tiny draws. *)
 
 open Relational
 
@@ -274,6 +284,68 @@ let check_fault_injection () =
         false
       with Engine.Race_failure _ -> true)
 
+(* ---- batched differential ------------------------------------------------ *)
+
+(* One instance of the --batch-diff mode: identical answer sets with the
+   vectorized interpreter off and on, at pools 1 and 2, under a randomized
+   morsel size so group boundaries land inside even small candidate
+   ranges. *)
+let check_batch_diff st p db =
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let morsel = pick [ 1; 2; 7; 1024 ] in
+  let with_config ~batched ~domains f =
+    Engine.set_batched batched;
+    Engine.Parallel.set_domains domains;
+    Engine.Parallel.set_min_rows 1;
+    Engine.Parallel.set_morsel_rows morsel;
+    Fun.protect
+      ~finally:(fun () ->
+        Engine.set_batched true;
+        Engine.Parallel.set_domains 1;
+        Engine.Parallel.set_min_rows 128;
+        Engine.Parallel.set_morsel_rows 1024)
+      f
+  in
+  let q = Wdpt.Pattern_tree.q_full p in
+  let scalar_wdpt = with_config ~batched:false ~domains:1 (fun () -> Wdpt.Semantics.eval db p) in
+  let scalar_cq = with_config ~batched:false ~domains:1 (fun () -> Cq.Eval.answers db q) in
+  List.iter
+    (fun nd ->
+      let tag s = Printf.sprintf "%s@%d-domains-morsel-%d" s nd morsel in
+      with_config ~batched:true ~domains:nd (fun () ->
+          if not (Mapping.Set.equal (Wdpt.Semantics.eval db p) scalar_wdpt)
+          then fail (tag "wdpt-eval-batched-vs-scalar");
+          if not (Mapping.Set.equal (Cq.Eval.answers db q) scalar_cq) then
+            fail (tag "cq-eval-batched-vs-scalar")))
+    [ 1; 2 ];
+  !failures
+
+let batch_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      let st = Random.State.make [| !seed; 0xba7c |] in
+      match check_batch_diff st p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "batch-diff: %d instance(s) from seed %d (%d oversized skipped): %d \
+     failure(s)\n"
+    count seed0 !skipped !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 let race_diff_main count seed0 =
   let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
   let seed = ref seed0 in
@@ -370,6 +442,15 @@ let () =
       if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
     in
     par_diff_main count seed0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--batch-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    batch_diff_main count seed0
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--race-diff" then begin
     let count =

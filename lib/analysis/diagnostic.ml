@@ -27,6 +27,7 @@ type code =
   | Cancel_drops
   | Undeclared_write
   | Version_skew
+  | Morsel_coverage
 
 let code_id = function
   | Parse_error -> "S001"
@@ -52,6 +53,7 @@ let code_id = function
   | Cancel_drops -> "E013"
   | Undeclared_write -> "E014"
   | Version_skew -> "E015"
+  | Morsel_coverage -> "E016"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -77,6 +79,7 @@ let code_name = function
   | Cancel_drops -> "cancellation-drops-answers"
   | Undeclared_write -> "undeclared-shared-write"
   | Version_skew -> "cross-domain-version-skew"
+  | Morsel_coverage -> "morsel-coverage"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -86,7 +89,7 @@ let code_severity = function
   | Dead_slot | Order_inversion -> Warning
   | Slot_renaming | Dropped_check | Reorder_violation | Cert_mismatch -> Error
   | Chunk_coverage | Unsound_reducer | Cancel_drops | Undeclared_write
-  | Version_skew ->
+  | Version_skew | Morsel_coverage ->
       Error
 
 type witness =
@@ -145,6 +148,7 @@ type witness =
       ref_store : int;
       ref_live : int;
     }
+  | Morsel of { chunk : int; lo : int; hi : int; stride : int; morsel : int }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -335,6 +339,13 @@ let witness_json w =
                 ("compiled", Int ref_compiled);
                 ("store", Int ref_store);
                 ("live", Int ref_live) ] ) ]
+  | Morsel { chunk; lo; hi; stride; morsel } ->
+      kind "morsel-coverage"
+        [ ("chunk", Int chunk);
+          ("lo", Int lo);
+          ("hi", Int hi);
+          ("stride", Int stride);
+          ("morsel-rows", Int morsel) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

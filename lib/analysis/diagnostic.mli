@@ -71,7 +71,13 @@
       the declared inventory, or a cross-chunk write targeting a non-atomic
       (chunk-local) location (error);
     - [E015 cross-domain-version-skew] — domains observing different
-      (compiled, store, live) snapshot triples of one shared plan (error). *)
+      (compiled, store, live) snapshot triples of one shared plan (error);
+    - [E016 morsel-coverage] — the morsel geometry of a parallel partition
+      is broken: a chunk wider than the configured morsel cap, a non-uniform
+      stride before the last chunk, or an overlong tail (error). Generalizes
+      E011: coverage says the slices partition the range, E016 says they are
+      the fixed-stride morsels the runtime promises (checked only when E011
+      is clean). *)
 
 open Relational
 
@@ -101,6 +107,7 @@ type code =
   | Cancel_drops  (** E013 *)
   | Undeclared_write  (** E014 *)
   | Version_skew  (** E015 *)
+  | Morsel_coverage  (** E016 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -230,6 +237,13 @@ type witness =
       ref_store : int;
       ref_live : int;
     }  (** E015 *)
+  | Morsel of {
+      chunk : int;  (** offending chunk index *)
+      lo : int;
+      hi : int;
+      stride : int;  (** the uniform stride (width of chunk 0) *)
+      morsel : int;  (** the configured cap ({!Engine.Parallel.morsel_rows}) *)
+    }  (** E016 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

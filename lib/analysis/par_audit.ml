@@ -66,6 +66,56 @@ let check_coverage (v : I.par_view) acc =
       :: !acc;
   !acc
 
+(* E016: morsel geometry — generalizes E011. A parallel partition must be
+   the fixed-stride morsel slices the runtime promises: no chunk wider than
+   the configured morsel cap (a fat chunk resurrects the single-huge-chunk
+   skew the morsels exist to fix), every chunk before the last carrying the
+   uniform stride, and the ragged tail no wider than that stride. Only
+   meaningful once E011 certified the slices partition [0, rows) — the
+   caller gates on that — and vacuous for sequential regions (one chunk is
+   the whole range by design). *)
+let check_morsels (v : I.par_view) acc =
+  if v.I.pv_sequential || Array.length v.I.pv_chunks = 0 then acc
+  else begin
+    let n = Array.length v.I.pv_chunks in
+    let m = v.I.pv_morsel_rows in
+    let stride =
+      let lo, hi = v.I.pv_chunks.(0) in
+      hi - lo
+    in
+    let acc = ref acc in
+    Array.iteri
+      (fun i (lo, hi) ->
+        let w = hi - lo in
+        let flag message =
+          acc :=
+            d
+              ~witness:
+                (Diagnostic.Morsel { chunk = i; lo; hi; stride; morsel = m })
+              Diagnostic.Morsel_coverage message
+            :: !acc
+        in
+        if w > m then
+          flag
+            (Printf.sprintf
+               "chunk %d spans [%d, %d): %d row(s) exceed the %d-row morsel \
+                cap"
+               i lo hi w m)
+        else if i < n - 1 && w <> stride then
+          flag
+            (Printf.sprintf
+               "chunk %d spans [%d, %d) but every chunk before the last must \
+                carry the uniform %d-row stride"
+               i lo hi stride)
+        else if i = n - 1 && i > 0 && w > stride then
+          flag
+            (Printf.sprintf
+               "last chunk %d spans [%d, %d): wider than the %d-row stride"
+               i lo hi stride))
+      v.I.pv_chunks;
+    !acc
+  end
+
 (* E012: an order-sensitive primitive (enumeration: sequential-identical
    order is part of the contract) must merge chunk results in a
    chunk-order-preserving way — chunks are contiguous slices of the
@@ -191,10 +241,13 @@ let check_snapshots (v : I.par_view) acc =
   end
 
 let audit_view (v : I.par_view) =
+  let coverage = check_coverage v [] in
+  (* E016 presumes E011-certified slices; skip it when coverage already
+     failed so every corruption keeps exactly one primary finding. *)
+  let acc = if coverage = [] then check_morsels v [] else coverage in
   List.rev
     (check_snapshots v
-       (check_writes v
-          (check_cancellation v (check_reducers_order v (check_coverage v [])))))
+       (check_writes v (check_cancellation v (check_reducers_order v acc))))
 
 let audit p = audit_view (Engine.Inspect.par p)
 
@@ -204,6 +257,7 @@ let par_json (v : I.par_view) =
   Json.Obj
     [ ("domains", Int v.I.pv_domains);
       ("min-rows", Int v.I.pv_min_rows);
+      ("morsel-rows", Int v.I.pv_morsel_rows);
       ("atom", (match v.I.pv_atom with None -> Json.Null | Some a -> Int a));
       ("rows", Int v.I.pv_rows);
       ("sequential", Bool v.I.pv_sequential);
@@ -249,10 +303,66 @@ let par_json (v : I.par_view) =
                      ("store", Int s);
                      ("live", Int l) ])) ) ]
 
+let batch_json (b : I.batch_view) =
+  Json.Obj
+    [ ("enabled", Bool b.I.b_enabled);
+      ("morsel-rows", Int b.I.b_morsel_rows);
+      ("groups", Int b.I.b_groups);
+      ( "columns",
+        List
+          (Array.to_list b.I.b_columns
+          |> List.map (fun (s, x) ->
+                 Json.Obj
+                   [ ("slot", Json.Int s); ("variable", Json.Str x) ])) );
+      ( "stages",
+        List
+          (Array.to_list b.I.b_stages
+          |> List.map (fun (st : I.batch_stage_view) ->
+                 Json.Obj
+                   [ ("atom", Int st.I.bv_atom);
+                     ("checks", Int (Array.length st.I.bv_checks));
+                     ("probe-cols", Int (Array.length st.I.bv_cols));
+                     ("binds", Int (Array.length st.I.bv_binds));
+                     ("dups", Int (Array.length st.I.bv_dups));
+                     ("filter", Bool st.I.bv_filter) ])) ) ]
+
+let pp_batch ppf (b : I.batch_view) =
+  if not b.I.b_enabled then
+    Format.fprintf ppf
+      "batch: off — scalar tuple-at-a-time interpreter (WDPT_ENGINE_BATCH=0)"
+  else begin
+    Format.fprintf ppf
+      "batch: vectorized — %d-row morsel group(s), %d group(s) at the top \
+       level@,"
+      b.I.b_morsel_rows b.I.b_groups;
+    Format.fprintf ppf "  columns:";
+    if Array.length b.I.b_columns = 0 then Format.fprintf ppf " none"
+    else
+      Array.iter
+        (fun (s, x) -> Format.fprintf ppf " %d:%s" s x)
+        b.I.b_columns;
+    Format.fprintf ppf "@,";
+    Array.iteri
+      (fun i (st : I.batch_stage_view) ->
+        if i > 0 then Format.fprintf ppf "@,";
+        Format.fprintf ppf
+          "  stage %d: atom %d — %d check(s), %d probe col(s), %d bind(s), \
+           %d dup(s)%s"
+          i st.I.bv_atom
+          (Array.length st.I.bv_checks)
+          (Array.length st.I.bv_cols)
+          (Array.length st.I.bv_binds)
+          (Array.length st.I.bv_dups)
+          (if st.I.bv_filter then ", mask-only filter" else ""))
+      b.I.b_stages;
+    if Array.length b.I.b_stages = 0 then
+      Format.fprintf ppf "  no stages (atomless plan)"
+  end
+
 let pp_par ppf (v : I.par_view) =
   Format.fprintf ppf "decision: %s@," v.I.pv_reason;
-  Format.fprintf ppf "  pool of %d domain(s), %d-row threshold@," v.I.pv_domains
-    v.I.pv_min_rows;
+  Format.fprintf ppf "  pool of %d domain(s), %d-row threshold, %d-row morsels@,"
+    v.I.pv_domains v.I.pv_min_rows v.I.pv_morsel_rows;
   (match v.I.pv_atom with
   | Some a ->
       Format.fprintf ppf "  top-level atom %d: %d candidate row(s)@," a

@@ -18,7 +18,13 @@
       the declared shared inventory, or a cross-chunk write targeting a
       non-atomic (chunk-local) location;
     - [E015 cross-domain-version-skew] — domains observing different
-      (compiled, store, live) snapshot triples of the one shared plan.
+      (compiled, store, live) snapshot triples of the one shared plan;
+    - [E016 morsel-coverage] — a parallel partition that is not the
+      fixed-stride morsel geometry the runtime promises: a chunk wider than
+      the configured morsel cap ({!Engine.Parallel.morsel_rows}), a
+      non-uniform stride before the last chunk, or an overlong tail.
+      Generalizes E011 and only runs once E011 certified the slices;
+      vacuous for sequential regions.
 
     All checks are O(plan): O(chunks) + O(reducers + writes + inventory) +
     O(domains). The genuine view is re-derived from the same pure functions
@@ -42,3 +48,11 @@ val par_json : Engine.Inspect.par_view -> Json.t
 
 (** Text rendering for [wdpt explain]. Multi-line; boxed by the caller. *)
 val pp_par : Format.formatter -> Engine.Inspect.par_view -> unit
+
+(** JSON rendering of the batched execution layout
+    ({!Engine.Inspect.batch_view}) for [wdpt explain --format json]. *)
+val batch_json : Engine.Inspect.batch_view -> Json.t
+
+(** Text rendering of the batch decision (vectorized vs scalar, morsel
+    geometry, stage pipeline) for [wdpt explain]. *)
+val pp_batch : Format.formatter -> Engine.Inspect.batch_view -> unit

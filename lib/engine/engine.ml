@@ -870,6 +870,912 @@ let iter_envs_fast p f =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Batched (vectorized) execution                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched interpreter executes each compiled instruction over a vector
+   of candidate environments instead of one at a time. The environment
+   vector is columnar: one flat int array per stage-bound slot, indexed by
+   batch row. A fixed stage order (the pre-computed top-level choice, then
+   the remaining atoms in static order) makes slot boundness uniform across
+   a batch, so each op compiles to a constant check, a column comparison, a
+   duplicate-position check, or a column write for the whole batch at once:
+   dispatch cost is per (instruction, batch), not per (instruction,
+   candidate), and index probes sort/group the batch by probe key so
+   counted-cell lookups become sequential runs.
+
+   Two structural facts make the batched enumeration order well-defined and
+   equal to the scalar fixed-order twin below, env for env:
+   - index cells list stored rows in strictly increasing order (cell_push
+     appends) and facts are set-semantic, so the matching tuples of an atom
+     under a fixed partial env form the same increasing row sequence
+     whichever bound position's cell is probed;
+   - batch expansion emits matches input-row-major, which is exactly the
+     depth-first order of the fixed-order recursion.
+
+   Top-level candidates are processed in morsel-sized groups, bounding the
+   columnar footprint; groups are contiguous candidate ranges, so group
+   concatenation preserves the order. *)
+
+let batched_flag =
+  Atomic.make
+    (match Sys.getenv_opt "WDPT_ENGINE_BATCH" with
+    | Some ("0" | "false" | "no") -> false
+    | _ -> true)
+
+let set_batched b = Atomic.set batched_flag b
+let batched_enabled () = Atomic.get batched_flag
+
+(* morsel size: the unit of parallel work distribution and the batch group
+   width of the vectorized interpreter *)
+let morsel_cap = 1 lsl 20
+
+let morsel_rows_flag =
+  Atomic.make
+    (match Sys.getenv_opt "WDPT_ENGINE_MORSEL" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> min n morsel_cap
+        | _ -> 1024)
+    | None -> 1024)
+
+let set_morsel_rows n = Atomic.set morsel_rows_flag (max 1 (min n morsel_cap))
+let morsel_rows () = Atomic.get morsel_rows_flag
+
+(* one atom of the fixed-order pipeline, with its ops split by the role they
+   play over a batch whose earlier stages already bound [bs_cols]'s slots *)
+type bstage = {
+  bs_atom : int;                  (* plan atom index *)
+  bs_checks : (int * int) array;  (* (position, interned id): constant check *)
+  bs_cols : (int * int) array;    (* (position, slot): column comparison *)
+  bs_binds : (int * int) array;   (* (position, slot): column write *)
+  bs_dups : (int * int) array;    (* (position, earlier position of same new
+                                     slot): intra-tuple equality *)
+  bs_filter : bool;               (* no binds: the stage only narrows *)
+}
+
+(* the fixed stage order shared by the batched interpreter and its scalar
+   twin: the pre-computed top-level choice first, then greedily the atom
+   with the most already-bound positions (constant positions count, static
+   order breaks ties). Connected queries therefore always probe on at least
+   one bound column — processing the remaining atoms in static order would
+   expand a cartesian product whenever the selective atom (e.g. one holding
+   an init-bound sink variable) sits late in the plan. The order depends
+   only on (plan, fc), so it is identical across pool sizes and between the
+   batched run and the fixed twin. *)
+let fixed_order p fc =
+  let fc_atom = p.order.(fc.fc_pos) in
+  let nslots = max 1 (Array.length p.init_env) in
+  let bound = Array.make nslots false in
+  Array.iteri (fun s v -> if v >= 0 then bound.(s) <- true) p.init_env;
+  let bind_atom ai =
+    Array.iter
+      (function Slot s -> bound.(s) <- true | Check _ -> ())
+      p.atoms.(ai).a_ops
+  in
+  bind_atom fc_atom;
+  let score ai =
+    Array.fold_left
+      (fun n op ->
+        match op with
+        | Check _ -> n + 1
+        | Slot s -> if bound.(s) then n + 1 else n)
+      0 p.atoms.(ai).a_ops
+  in
+  let rec pick acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | hd :: tl ->
+        let best, _ =
+          List.fold_left
+            (fun ((_, bs) as b) ai ->
+              let sa = score ai in
+              if sa > bs then (ai, sa) else b)
+            (hd, score hd) tl
+        in
+        bind_atom best;
+        pick (best :: acc) (List.filter (fun ai -> ai <> best) remaining)
+  in
+  fc_atom :: pick [] (List.filter (fun ai -> ai <> fc_atom) (Array.to_list p.order))
+
+(* the fixed stage order compiled per atom. Init-bound slots compile to
+   constant checks (their value is batch-invariant), so only stage-bound
+   slots ever materialize columns. *)
+let batch_stages p fc =
+  let nslots = max 1 (Array.length p.init_env) in
+  (* -2 unbound, -1 init-bound, k >= 0 first bound by stage k *)
+  let binder = Array.make nslots (-2) in
+  Array.iteri (fun s v -> if v >= 0 then binder.(s) <- -1) p.init_env;
+  List.mapi
+    (fun k ai ->
+      let ap = p.atoms.(ai) in
+      let checks = ref [] and cols = ref [] in
+      let binds = ref [] and dups = ref [] in
+      let first_pos = Array.make nslots (-1) in
+      Array.iteri
+        (fun pos op ->
+          match op with
+          | Check id -> checks := (pos, id) :: !checks
+          | Slot s ->
+              if binder.(s) = -1 then checks := (pos, p.init_env.(s)) :: !checks
+              else if binder.(s) >= 0 then cols := (pos, s) :: !cols
+              else if first_pos.(s) >= 0 then dups := (pos, first_pos.(s)) :: !dups
+              else begin
+                first_pos.(s) <- pos;
+                binds := (pos, s) :: !binds
+              end)
+        ap.a_ops;
+      List.iter (fun (_, s) -> binder.(s) <- k) !binds;
+      { bs_atom = ai;
+        bs_checks = Array.of_list (List.rev !checks);
+        bs_cols = Array.of_list (List.rev !cols);
+        bs_binds = Array.of_list (List.rev !binds);
+        bs_dups = Array.of_list (List.rev !dups);
+        bs_filter = !binds = [] })
+    (fixed_order p fc)
+
+exception Batch_dead
+
+let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
+  if p.feasible && Array.length p.atoms > 0 && lo < hi then begin
+    let stages = Array.of_list (batch_stages p fc) in
+    let nstages = Array.length stages in
+    let nslots = max 1 (Array.length p.init_env) in
+    (* Late materialization. Slot values are written exactly once, indexed
+       by the rows of the *level* that bound them: level 0 is the compacted
+       stage-0 survivor vector and every expansion stage opens the next
+       level. An expansion output row records only its parent row and the
+       newly bound columns — carry columns are never copied forward. A
+       later stage reaches an earlier binding by walking parent pointers
+       (one hop in the common join-the-previous-binding shape), and the
+       final expansion streams matches straight into the callback, so the
+       widest level is never materialized at all. *)
+    let binder_level = Array.make nslots (-1) in
+    let stage_level = Array.make nstages 0 in
+    let nlevels = ref 1 in
+    Array.iter (fun (_, s) -> binder_level.(s) <- 0) stages.(0).bs_binds;
+    for k = 1 to nstages - 1 do
+      stage_level.(k) <- !nlevels - 1;
+      if not stages.(k).bs_filter then begin
+        Array.iter
+          (fun (_, s) -> binder_level.(s) <- !nlevels)
+          stages.(k).bs_binds;
+        incr nlevels
+      end
+    done;
+    (* slots bound per level, for environment reconstruction *)
+    let level_slots = Array.make !nlevels [||] in
+    (let lv = ref 0 in
+     level_slots.(0) <- Array.map snd stages.(0).bs_binds;
+     for k = 1 to nstages - 1 do
+       if not stages.(k).bs_filter then begin
+         incr lv;
+         level_slots.(!lv) <- Array.map snd stages.(k).bs_binds
+       end
+     done);
+    let max_ncols =
+      Array.fold_left (fun m st -> max m (Array.length st.bs_cols)) 1 stages
+    in
+    let st0 = stages.(0) in
+    let tuples0 = p.atoms.(st0.bs_atom).a_rel.Db.tuples in
+    let env = Array.copy p.init_env in
+    let group = morsel_rows () in
+    (* dense probe tables: interned ids are small nonnegative ints, so a
+       single-column probe can usually bypass the hash table entirely —
+       built once per slice from the counted index, only when the key range
+       stays within a constant factor of the cell count. Small slices skip
+       the build: the O(index) setup would dominate their probe savings. *)
+    let dense_max = Array.make nstages (-1) in
+    let dense_count = Array.make nstages [||] in
+    let dense_rows = Array.make nstages [||] in
+    for k = 1 to nstages - 1 do
+      let st = stages.(k) in
+      if hi - lo >= 128 && Array.length st.bs_cols = 1 then begin
+        let pos, _ = st.bs_cols.(0) in
+        let idx = p.atoms.(st.bs_atom).a_rel.Db.index.(pos) in
+        let ncells = Hashtbl.length idx in
+        let mk = Hashtbl.fold (fun key _ m -> max key m) idx (-1) in
+        if mk >= 0 && mk < (4 * ncells) + 64 then begin
+          let dc = Array.make (mk + 1) 0 in
+          let dr = Array.make (mk + 1) [||] in
+          Hashtbl.iter
+            (fun key cell ->
+              if key >= 0 then begin
+                dc.(key) <- cell.Db.count;
+                dr.(key) <- cell.Db.rows
+              end)
+            idx;
+          dense_max.(k) <- mk;
+          dense_count.(k) <- dc;
+          dense_rows.(k) <- dr
+        end
+      end
+    done;
+    (* columnar batch state, rebuilt per morsel group. Every buffer below is
+       scratch reused across stages and groups and grown geometrically: the
+       steady state of a slice allocates nothing per group. *)
+    let width = ref 0 in
+    let mask = ref Bytes.empty in
+    let alive = ref 0 in
+    let cur_level = ref 0 in
+    let par = Array.make !nlevels [||] in
+    let vals = Array.make nslots [||] in
+    let pcols = Array.make max_ncols [||] in
+    let pcol_scratch = Array.make max_ncols [||] in
+    let anc = Array.make !nlevels 0 in
+    let ensure (store : int array array) i cap =
+      let b = store.(i) in
+      if Array.length b >= cap then b
+      else begin
+        let nb = Array.make (max cap (2 * Array.length b)) 0 in
+        store.(i) <- nb;
+        nb
+      end
+    in
+    let regrow (store : int array array) i cap keep =
+      let b = store.(i) in
+      if Array.length b >= cap then b
+      else begin
+        let nb = Array.make (max cap (2 * Array.length b)) 0 in
+        Array.blit b 0 nb 0 keep;
+        store.(i) <- nb;
+        nb
+      end
+    in
+    let mask_scratch = ref Bytes.empty in
+    let cand_scratch = ref [||] in
+    let fresh_mask n =
+      if Bytes.length !mask_scratch < n then
+        mask_scratch := Bytes.create (max n (2 * Bytes.length !mask_scratch));
+      Bytes.fill !mask_scratch 0 n '\001';
+      !mask_scratch
+    in
+    let kill i =
+      if Bytes.unsafe_get !mask i <> '\000' then begin
+        Bytes.unsafe_set !mask i '\000';
+        decr alive
+      end
+    in
+    (* rebuild [env]'s carried slots for row [i] of level [l]: one ancestor
+       walk, then one read per bound slot *)
+    let load_env l i =
+      anc.(l) <- i;
+      for lv = l downto 1 do
+        anc.(lv - 1) <- par.(lv).(anc.(lv))
+      done;
+      for lv = 0 to l do
+        let ss = Array.unsafe_get level_slots lv in
+        let j = Array.unsafe_get anc lv in
+        for q = 0 to Array.length ss - 1 do
+          let s = Array.unsafe_get ss q in
+          env.(s) <- vals.(s).(j)
+        done
+      done
+    in
+    let run_stage k =
+      let st = stages.(k) in
+      let l = stage_level.(k) in
+      let r = p.atoms.(st.bs_atom).a_rel in
+      let tuples = r.Db.tuples in
+      let nchecks = Array.length st.bs_checks in
+      let ncols = Array.length st.bs_cols in
+      let ndups = Array.length st.bs_dups in
+      (* constant checks resolve to index cells once per batch; the smallest
+         doubles as the shared probe when no column is bound. A missing cell
+         means no stored tuple can ever match: the whole batch dies. *)
+      let best_const = ref (-1) and best_rows = ref [||] in
+      for ci = 0 to nchecks - 1 do
+        let pos, id = st.bs_checks.(ci) in
+        match Hashtbl.find_opt r.Db.index.(pos) id with
+        | None -> raise Batch_dead
+        | Some cell ->
+            if !best_const < 0 || cell.Db.count < !best_const then begin
+              best_const := cell.Db.count;
+              best_rows := cell.Db.rows
+            end
+      done;
+      (* probe values for the bound columns, materialized for the current
+         level: a binding made at this level is read in place, an older
+         binding is chased through parent pointers (depth = level gap, one
+         hop when the stage joins against the most recent binding) *)
+      let w = !width in
+      for ci = 0 to ncols - 1 do
+        let _, s = st.bs_cols.(ci) in
+        let b = binder_level.(s) in
+        if b = l then pcols.(ci) <- vals.(s)
+        else begin
+          let dst = ensure pcol_scratch ci w in
+          (if b = l - 1 then begin
+             let pr = par.(l) and sv = vals.(s) in
+             for i = 0 to w - 1 do
+               Array.unsafe_set dst i
+                 (Array.unsafe_get sv (Array.unsafe_get pr i))
+             done
+           end
+           else
+             for i = 0 to w - 1 do
+               let j = ref i in
+               for lv = l downto b + 1 do
+                 j := par.(lv).(!j)
+               done;
+               dst.(i) <- vals.(s).(!j)
+             done);
+          pcols.(ci) <- dst
+        end
+      done;
+      (* per-row candidate cells. One bound column — the overwhelmingly
+         common case in join pipelines — probes the counted index in batch
+         order through a last-key memo: runs of equal keys cost a single
+         lookup and nothing per-row is materialized. Composite keys sort a
+         permutation of the live rows (monomorphic int compares) so each
+         distinct key combination costs one lookup per column; expansion
+         still walks batch order, so the output order is unchanged. *)
+      let shared_scan = ref false in
+      let shared_rows = ref [||] and shared_count = ref 0 in
+      if ncols = 0 then
+        if !best_const >= 0 then begin
+          shared_rows := !best_rows;
+          shared_count := !best_const
+        end
+        else begin
+          shared_scan := true;
+          shared_count := r.Db.nrows
+        end;
+      let memo_key = ref (-1) in
+      let memo_rows = ref [||] and memo_count = ref 0 in
+      let idx1 =
+        if ncols = 1 then
+          let pos, _ = st.bs_cols.(0) in
+          r.Db.index.(pos)
+        else Hashtbl.create 0
+      in
+      let dmax = dense_max.(k) in
+      let dcount = dense_count.(k) and drows = dense_rows.(k) in
+      let probe1 key =
+        if key <> !memo_key then begin
+          memo_key := key;
+          if key >= 0 && key <= dmax then begin
+            let n = Array.unsafe_get dcount key in
+            if !best_const >= 0 && !best_const < n then begin
+              memo_rows := !best_rows;
+              memo_count := !best_const
+            end
+            else begin
+              memo_rows := Array.unsafe_get drows key;
+              memo_count := n
+            end
+          end
+          else
+            match Hashtbl.find_opt idx1 key with
+            | None ->
+                memo_rows := [||];
+                memo_count := 0
+            | Some cell ->
+                if !best_const >= 0 && !best_const < cell.Db.count then begin
+                  memo_rows := !best_rows;
+                  memo_count := !best_const
+                end
+                else begin
+                  memo_rows := cell.Db.rows;
+                  memo_count := cell.Db.count
+                end
+        end
+      in
+      let cand_rows, cand_count =
+        if ncols < 2 then ([||], [||])
+        else begin
+          let cand_rows = Array.make w [||] in
+          let cand_count = Array.make w 0 in
+          let perm = Array.make (max 1 !alive) 0 in
+          let pj = ref 0 in
+          for i = 0 to w - 1 do
+            if Bytes.unsafe_get !mask i <> '\000' then begin
+              perm.(!pj) <- i;
+              incr pj
+            end
+          done;
+          let cmp (a : int) (b : int) =
+            let rec go ci =
+              if ci >= ncols then 0
+              else
+                let col = Array.unsafe_get pcols ci in
+                let x : int = Array.unsafe_get col a in
+                let y : int = Array.unsafe_get col b in
+                if x < y then -1 else if x > y then 1 else go (ci + 1)
+            in
+            go 0
+          in
+          Array.sort cmp perm;
+          let i = ref 0 in
+          while !i < !alive do
+            let r0 = perm.(!i) in
+            (* resolve this key run: min-count cell across the bound columns
+               and the constant cells *)
+            let cnt = ref !best_const and rows = ref !best_rows in
+            (try
+               for ci = 0 to ncols - 1 do
+                 let pos, _ = st.bs_cols.(ci) in
+                 match Hashtbl.find_opt r.Db.index.(pos) pcols.(ci).(r0) with
+                 | None ->
+                     cnt := 0;
+                     rows := [||];
+                     raise Exit
+                 | Some cell ->
+                     if !cnt < 0 || cell.Db.count < !cnt then begin
+                       cnt := cell.Db.count;
+                       rows := cell.Db.rows
+                     end
+               done
+             with Exit -> ());
+            let run_rows = !rows and run_cnt = max 0 !cnt in
+            cand_rows.(r0) <- run_rows;
+            cand_count.(r0) <- run_cnt;
+            let j = ref (!i + 1) in
+            while !j < !alive && cmp r0 perm.(!j) = 0 do
+              cand_rows.(perm.(!j)) <- run_rows;
+              cand_count.(perm.(!j)) <- run_cnt;
+              incr j
+            done;
+            i := !j
+          done;
+          (cand_rows, cand_count)
+        end
+      in
+      (* a candidate tuple joins batch row [i] when it passes every op *)
+      let admits i (t : Tuple.t) =
+        let rec chk ci =
+          ci >= nchecks
+          ||
+          let pos, id = Array.unsafe_get st.bs_checks ci in
+          t.(pos) = id && chk (ci + 1)
+        in
+        let rec colk ci =
+          ci >= ncols
+          ||
+          let pos, _ = Array.unsafe_get st.bs_cols ci in
+          t.(pos) = Array.unsafe_get (Array.unsafe_get pcols ci) i
+          && colk (ci + 1)
+        in
+        let rec dupk ci =
+          ci >= ndups
+          ||
+          let pos, pos0 = Array.unsafe_get st.bs_dups ci in
+          t.(pos) = t.(pos0) && dupk (ci + 1)
+        in
+        chk 0 && colk 0 && dupk 0
+      in
+      (* the dominant stage shape in join pipelines: one bound probe column,
+         no constant checks, no intra-tuple duplicates, and no competing
+         constant cell. Every tuple in the probed cell then matches by the
+         index invariant (stored position = key), so the per-candidate
+         verification disappears entirely: filters reduce to a count check
+         and expansions blit the cell. *)
+      let pure_join = ncols = 1 && nchecks = 0 && ndups = 0 && !best_const < 0 in
+      if st.bs_filter then begin
+        (* narrowing stage: checks mutate the survivor mask in place. With
+           no bound column the verdict is batch-invariant. *)
+        if ncols = 0 then begin
+          let n = !shared_count in
+          let hit = ref false in
+          (try
+             for ci = 0 to n - 1 do
+               let ti = if !shared_scan then ci else (!shared_rows).(ci) in
+               if admits 0 tuples.(ti) then begin
+                 hit := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if not !hit then raise Batch_dead
+        end
+        else if pure_join then begin
+          (* survival is exactly "the probed cell is non-empty" *)
+          let m = !mask and p1 = pcols.(0) in
+          for i = 0 to w - 1 do
+            if Bytes.unsafe_get m i <> '\000' then begin
+              probe1 (Array.unsafe_get p1 i);
+              if !memo_count = 0 then kill i
+            end
+          done;
+          if !alive = 0 then raise Batch_dead
+        end
+        else begin
+          let p1 = if ncols = 1 then pcols.(0) else [||] in
+          for i = 0 to w - 1 do
+            if Bytes.unsafe_get !mask i <> '\000' then begin
+              let n, rows =
+                if ncols = 1 then begin
+                  probe1 (Array.unsafe_get p1 i);
+                  (!memo_count, !memo_rows)
+                end
+                else (cand_count.(i), cand_rows.(i))
+              in
+              let hit = ref false in
+              (try
+                 for ci = 0 to n - 1 do
+                   if admits i tuples.(rows.(ci)) then begin
+                     hit := true;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if not !hit then kill i
+            end
+          done;
+          if !alive = 0 then raise Batch_dead
+        end
+      end
+      else if k = nstages - 1 then begin
+        (* final expansion: matches stream straight into the callback in
+           input-row-major, stored-row order — the depth-first order — so
+           the widest level never hits memory. Carried slot values are
+           reconstructed once per input row; each match then writes only
+           the newly bound slots. *)
+        let nbinds = Array.length st.bs_binds in
+        let p1 = if ncols = 1 then pcols.(0) else [||] in
+        let ss_l = level_slots.(l) in
+        let nss_l = Array.length ss_l in
+        let pr = if l > 0 then par.(l) else [||] in
+        let last_par = ref (-1) in
+        for i = 0 to w - 1 do
+          if Bytes.unsafe_get !mask i <> '\000' then begin
+            let n, rows =
+              if ncols = 0 then (!shared_count, !shared_rows)
+              else if ncols = 1 then begin
+                probe1 (Array.unsafe_get p1 i);
+                (!memo_count, !memo_rows)
+              end
+              else (cand_count.(i), cand_rows.(i))
+            in
+            if n > 0 then begin
+              (* levels below the current one change only when the parent
+                 row does — consecutive rows blitted from one parent share
+                 their whole carried prefix *)
+              (if l > 0 then begin
+                 let pi = Array.unsafe_get pr i in
+                 if pi <> !last_par then begin
+                   last_par := pi;
+                   anc.(l - 1) <- pi;
+                   for lv = l - 1 downto 1 do
+                     anc.(lv - 1) <- par.(lv).(anc.(lv))
+                   done;
+                   for lv = 0 to l - 1 do
+                     let ss = Array.unsafe_get level_slots lv in
+                     let j = Array.unsafe_get anc lv in
+                     for q = 0 to Array.length ss - 1 do
+                       let s = Array.unsafe_get ss q in
+                       env.(s) <- vals.(s).(j)
+                     done
+                   done
+                 end
+               end);
+              for q = 0 to nss_l - 1 do
+                let s = Array.unsafe_get ss_l q in
+                env.(s) <- vals.(s).(i)
+              done;
+              if pure_join then
+                for ci = 0 to n - 1 do
+                  let t =
+                    Array.unsafe_get tuples (Array.unsafe_get rows ci)
+                  in
+                  for q = 0 to nbinds - 1 do
+                    let pos, s = Array.unsafe_get st.bs_binds q in
+                    env.(s) <- t.(pos)
+                  done;
+                  f env
+                done
+              else
+                for ci = 0 to n - 1 do
+                  let ti = if !shared_scan then ci else rows.(ci) in
+                  let t = tuples.(ti) in
+                  if admits i t then begin
+                    for q = 0 to nbinds - 1 do
+                      let pos, s = Array.unsafe_get st.bs_binds q in
+                      env.(s) <- t.(pos)
+                    done;
+                    f env
+                  end
+                done
+            end
+          end
+        done;
+        (* everything was emitted: nothing survives to read back *)
+        width := 0;
+        alive := 0
+      end
+      else begin
+        (* interior expansion: one output row per (input row, matching
+           tuple), input-row-major. Each output row records its parent row
+           and the newly bound columns only. *)
+        let nl = l + 1 in
+        let nbinds = Array.length st.bs_binds in
+        let ocap = ref (max 16 !alive) in
+        let opar = ref (ensure par nl !ocap) in
+        let obind = Array.make (max 1 nbinds) [||] in
+        for q = 0 to nbinds - 1 do
+          let _, s = st.bs_binds.(q) in
+          obind.(q) <- ensure vals s !ocap
+        done;
+        let oj = ref 0 in
+        let grow need =
+          let nc = ref (2 * !ocap) in
+          while !nc < need do
+            nc := 2 * !nc
+          done;
+          opar := regrow par nl !nc !oj;
+          for q = 0 to nbinds - 1 do
+            let _, s = st.bs_binds.(q) in
+            obind.(q) <- regrow vals s !nc !oj
+          done;
+          ocap := !nc
+        in
+        let emit i t =
+          if !oj = !ocap then grow (!oj + 1);
+          let jj = !oj in
+          Array.unsafe_set !opar jj i;
+          for q = 0 to nbinds - 1 do
+            let pos, _ = Array.unsafe_get st.bs_binds q in
+            Array.unsafe_set (Array.unsafe_get obind q) jj t.(pos)
+          done;
+          incr oj
+        in
+        (if pure_join then begin
+           (* the probed cell is exactly the match set: blit it *)
+           let m = !mask and p1 = pcols.(0) in
+           for i = 0 to w - 1 do
+             if Bytes.unsafe_get m i <> '\000' then begin
+               probe1 (Array.unsafe_get p1 i);
+               let n = !memo_count in
+               if n > 0 then begin
+                 let rows = !memo_rows in
+                 if !oj + n > !ocap then grow (!oj + n);
+                 let jj0 = !oj in
+                 let dst = !opar in
+                 for ci = 0 to n - 1 do
+                   Array.unsafe_set dst (jj0 + ci) i
+                 done;
+                 for q = 0 to nbinds - 1 do
+                   let pos, _ = Array.unsafe_get st.bs_binds q in
+                   let dst = Array.unsafe_get obind q in
+                   for ci = 0 to n - 1 do
+                     let t =
+                       Array.unsafe_get tuples (Array.unsafe_get rows ci)
+                     in
+                     Array.unsafe_set dst (jj0 + ci) t.(pos)
+                   done
+                 done;
+                 oj := jj0 + n
+               end
+             end
+           done
+         end
+         else begin
+           let p1 = if ncols = 1 then pcols.(0) else [||] in
+           for i = 0 to w - 1 do
+             if Bytes.unsafe_get !mask i <> '\000' then
+               if ncols = 0 then begin
+                 let n = !shared_count in
+                 let rows = !shared_rows in
+                 for ci = 0 to n - 1 do
+                   let ti = if !shared_scan then ci else rows.(ci) in
+                   let t = tuples.(ti) in
+                   if admits i t then emit i t
+                 done
+               end
+               else begin
+                 let n, rows =
+                   if ncols = 1 then begin
+                     probe1 (Array.unsafe_get p1 i);
+                     (!memo_count, !memo_rows)
+                   end
+                   else (cand_count.(i), cand_rows.(i))
+                 in
+                 for ci = 0 to n - 1 do
+                   let t = tuples.(rows.(ci)) in
+                   if admits i t then emit i t
+                 done
+               end
+           done
+         end);
+        if !oj = 0 then raise Batch_dead;
+        width := !oj;
+        alive := !oj;
+        mask := fresh_mask !oj;
+        cur_level := nl
+      end
+    in
+    let glo = ref lo in
+    while !glo < hi && not (cancel ()) do
+      let ghi = min hi (!glo + group) in
+      (try
+         (* stage 0: survivor bitmask over the candidate vector, then the
+            survivors' bind columns are materialized compactly as level 0 *)
+         let w0 = ghi - !glo in
+         let cand =
+           if Array.length !cand_scratch < w0 then
+             cand_scratch :=
+               Array.make (max w0 (2 * Array.length !cand_scratch)) 0;
+           !cand_scratch
+         in
+         for i = 0 to w0 - 1 do
+           cand.(i) <- (if fc.fc_scan then !glo + i else fc.fc_rows.(!glo + i))
+         done;
+         let m0 = fresh_mask w0 in
+         mask := m0;
+         width := w0;
+         alive := w0;
+         Array.iter
+           (fun (pos, id) ->
+             for i = 0 to w0 - 1 do
+               if
+                 Bytes.unsafe_get m0 i <> '\000'
+                 && (tuples0.(cand.(i))).(pos) <> id
+               then begin
+                 Bytes.unsafe_set m0 i '\000';
+                 decr alive
+               end
+             done)
+           st0.bs_checks;
+         Array.iter
+           (fun (pos, pos0) ->
+             for i = 0 to w0 - 1 do
+               if Bytes.unsafe_get m0 i <> '\000' then begin
+                 let t = tuples0.(cand.(i)) in
+                 if t.(pos) <> t.(pos0) then begin
+                   Bytes.unsafe_set m0 i '\000';
+                   decr alive
+                 end
+               end
+             done)
+           st0.bs_dups;
+         if !alive = 0 then raise Batch_dead;
+         Array.iter
+           (fun (_, s) -> ignore (ensure vals s !alive))
+           st0.bs_binds;
+         let j = ref 0 in
+         for i = 0 to w0 - 1 do
+           if Bytes.unsafe_get m0 i <> '\000' then begin
+             let t = tuples0.(cand.(i)) in
+             Array.iter (fun (pos, s) -> vals.(s).(!j) <- t.(pos)) st0.bs_binds;
+             incr j
+           end
+         done;
+         width := !j;
+         alive := !j;
+         mask := fresh_mask !j;
+         cur_level := 0;
+         for k = 1 to nstages - 1 do
+           run_stage k
+         done;
+         (* read back (only when the pipeline ends in a filter or is a
+            single stage — a final expansion already streamed its matches):
+            surviving rows, in batch order *)
+         for i = 0 to !width - 1 do
+           if Bytes.unsafe_get !mask i <> '\000' then begin
+             load_env !cur_level i;
+             f env
+           end
+         done
+       with Batch_dead -> ());
+      glo := ghi
+    done
+  end
+
+(* scalar twin of the batched interpreter: the same fixed stage order, one
+   environment at a time. Checked-batched mode replays it per morsel group
+   and compares env for env — matching tuples arrive in increasing
+   stored-row order on both sides, so the two enumerations must coincide
+   exactly. *)
+let iter_envs_fixed_slice p fc ~lo ~hi ~cancel f =
+  if p.feasible && Array.length p.atoms > 0 then begin
+    let env = Array.copy p.init_env in
+    let fc_atom = p.order.(fc.fc_pos) in
+    let rest = Array.of_list (List.tl (fixed_order p fc)) in
+    let nrest = Array.length rest in
+    let trail = Array.make (Array.length env) 0 in
+    let sp = ref 0 in
+    let undo_to mark =
+      while !sp > mark do
+        decr sp;
+        env.(trail.(!sp)) <- -1
+      done
+    in
+    let match_tuple ops (t : Tuple.t) =
+      let mark = !sp in
+      let len = Array.length ops in
+      let rec go i =
+        if i >= len then true
+        else
+          let arg = t.(i) in
+          match ops.(i) with
+          | Check id -> if arg = id then go (i + 1) else false
+          | Slot s ->
+              let v = env.(s) in
+              if v < 0 then begin
+                env.(s) <- arg;
+                trail.(!sp) <- s;
+                incr sp;
+                go (i + 1)
+              end
+              else if v = arg then go (i + 1)
+              else false
+      in
+      if go 0 then true
+      else begin
+        undo_to mark;
+        false
+      end
+    in
+    let rec go k =
+      if k >= nrest then f env
+      else begin
+        let ap = p.atoms.(rest.(k)) in
+        let r = ap.a_rel in
+        let cost = ref r.Db.nrows and rows = ref [||] and scan = ref true in
+        let ops = ap.a_ops in
+        for pos = 0 to Array.length ops - 1 do
+          let bound =
+            match ops.(pos) with Check id -> id | Slot s -> env.(s)
+          in
+          if bound >= 0 then
+            match Hashtbl.find_opt r.Db.index.(pos) bound with
+            | Some cell ->
+                if !scan || cell.Db.count < !cost then begin
+                  cost := cell.Db.count;
+                  rows := cell.Db.rows;
+                  scan := false
+                end
+            | None ->
+                cost := 0;
+                rows := [||];
+                scan := false
+        done;
+        let tuples = r.Db.tuples in
+        if !scan then
+          for ti = 0 to !cost - 1 do
+            let mark = !sp in
+            if match_tuple ops tuples.(ti) then begin
+              go (k + 1);
+              undo_to mark
+            end
+          done
+        else begin
+          let rs = !rows in
+          for ri = 0 to !cost - 1 do
+            let mark = !sp in
+            if match_tuple ops tuples.(rs.(ri)) then begin
+              go (k + 1);
+              undo_to mark
+            end
+          done
+        end
+      end
+    in
+    let ap = p.atoms.(fc_atom) in
+    let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+    let i = ref lo in
+    while !i < hi && not (cancel ()) do
+      let ti = if fc.fc_scan then !i else fc.fc_rows.(!i) in
+      let mark = !sp in
+      if match_tuple ops tuples.(ti) then begin
+        go 0;
+        undo_to mark
+      end;
+      incr i
+    done
+  end
+
+let iter_envs_batched p f =
+  if p.feasible then begin
+    if Array.length p.atoms = 0 then f (Array.copy p.init_env)
+    else
+      match select_first p with
+      | None -> ()
+      | Some fc ->
+          iter_envs_batched_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Checked execution (sanitizer mode)                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1166,10 +2072,70 @@ let iter_envs_checked p f =
     | Some fc ->
         iter_envs_checked_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
 
+(* checked-batched execution: every morsel group's batched effects are
+   validated env-for-env against the scalar fixed-order twin — same fixed
+   stage order, same enumeration order — and every solution is re-verified
+   against the stored relations before the caller sees it. A mismatch in
+   either direction (a dropped or an extra batched solution, or any slot
+   disagreement) is a Check_failure. *)
+let iter_envs_batched_checked_slice p fc ~lo ~hi ~cancel f =
+  sanitize_static p;
+  if p.feasible && Array.length p.atoms > 0 then begin
+    let group = morsel_rows () in
+    let glo = ref lo in
+    while !glo < hi && not (cancel ()) do
+      let ghi = min hi (!glo + group) in
+      let buf = ref [] in
+      iter_envs_batched_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel
+        (fun env -> buf := Array.copy env :: !buf);
+      let batched = Array.of_list (List.rev !buf) in
+      let k = ref 0 in
+      iter_envs_fixed_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel (fun env ->
+          if !k >= Array.length batched then
+            check_fail
+              "batched run dropped solution %d of the scalar fixed-order twin"
+              !k
+          else begin
+            let b = batched.(!k) in
+            Array.iteri
+              (fun s v ->
+                if b.(s) <> v then
+                  check_fail
+                    "batched solution %d differs from the scalar twin at slot \
+                     %d (%d vs %d)"
+                    !k s b.(s) v)
+              env;
+            verify_solution p b;
+            incr k
+          end);
+      if !k <> Array.length batched then
+        check_fail "batched run produced %d extra solution(s) beyond the twin"
+          (Array.length batched - !k);
+      Array.iter f batched;
+      glo := ghi
+    done
+  end
+
+let iter_envs_batched_checked p f =
+  if Array.length p.atoms = 0 || not p.feasible then begin
+    sanitize_static p;
+    if p.feasible then f (Array.copy p.init_env)
+  end
+  else
+    match select_first p with
+    | None -> ()
+    | Some fc ->
+        iter_envs_batched_checked_slice p fc ~lo:0 ~hi:fc.fc_count
+          ~cancel:no_cancel f
+
 (* the sequential dispatch; the public [iter_envs] below additionally
    partitions across domains when enabled *)
 let iter_envs_seq p f =
-  if Atomic.get checked then iter_envs_checked p f else iter_envs_fast p f
+  match (Atomic.get batched_flag, Atomic.get checked) with
+  | true, true -> iter_envs_batched_checked p f
+  | true, false -> iter_envs_batched p f
+  | false, true -> iter_envs_checked p f
+  | false, false -> iter_envs_fast p f
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel enumeration                                          *)
@@ -1200,13 +2166,36 @@ module Parallel = struct
      path instead of nesting domain pools *)
   let in_region = Atomic.make false
 
-  (* [i]th of [nchunks] near-equal contiguous slices of [0, count) *)
-  let chunk_bounds count nchunks =
-    let q = count / nchunks and r = count mod nchunks in
-    Array.init nchunks (fun i ->
-        ((i * q) + min i r, ((i + 1) * q) + min (i + 1) r))
+  (* morsel size: re-exported here because it is the unit of parallel work
+     distribution (the batched interpreter reads the same flag for its group
+     width) *)
+  let set_morsel_rows = set_morsel_rows
+  let morsel_rows = morsel_rows
 
-  let nchunks_for nd count = min count (nd * 4)
+  (* Fixed-size morsels: the unit of work pulled off the dispatch counter.
+     The chunk size is the configured morsel cap, lowered for small regions
+     so the pool still sees ~4 waves per domain (the old 4×pool target); a
+     fat candidate range therefore splits into ceil(count/morsel) chunks
+     instead of 4×pool huge ones — the single-huge-chunk skew fix. *)
+  let chunk_size_for nd count =
+    let target = (count + (4 * nd) - 1) / (4 * nd) in
+    max 1 (min (morsel_rows ()) target)
+
+  let nchunks_for nd count =
+    if count <= 0 then 1
+    else
+      let s = chunk_size_for nd count in
+      (count + s - 1) / s
+
+  (* [i]th of [nchunks] fixed-stride contiguous slices of [0, count): every
+     chunk spans ceil(count/nchunks) rows except a possibly-short last one —
+     the uniform-stride morsel shape E016 audits. (For any [nchunks]
+     produced by [nchunks_for] the stride round-trips exactly, so no chunk
+     is empty.) *)
+  let chunk_bounds count nchunks =
+    let stride = if nchunks <= 0 then 0 else (count + nchunks - 1) / nchunks in
+    Array.init nchunks (fun i ->
+        (min count (i * stride), min count ((i + 1) * stride)))
 
   (* ---- data-race sanitizer ----------------------------------------- *)
 
@@ -1243,16 +2232,20 @@ module Parallel = struct
     | Error_slot
     | Cancel_flag
     | Chunk_cell of int
+    | Column_block of int
+        (* chunk [i]'s batched slot columns, logged as one whole-column
+           access per (location, kind) rather than per lane *)
 
   let loc_atomic = function
     | Next_counter | Error_slot | Cancel_flag -> true
-    | Chunk_cell _ -> false
+    | Chunk_cell _ | Column_block _ -> false
 
   let loc_name = function
     | Next_counter -> "chunk-dispatch-counter"
     | Error_slot -> "error-slot"
     | Cancel_flag -> "cancel-flag"
     | Chunk_cell i -> Printf.sprintf "chunk cell %d" i
+    | Column_block i -> Printf.sprintf "batch columns of chunk %d" i
 
   (* One access record per (location, kind) a chunk performs: the logical
      clock of the first access plus a repetition count, so logging stays
@@ -1389,11 +2382,15 @@ module Parallel = struct
 
   let leave () = Atomic.set in_region false
 
-  (* the slice interpreter is chosen once per region from the checked flag
-     and shared by every worker: a concurrent [set_checked] cannot tear a
-     run into mixed fast/checked chunks *)
+  (* the slice interpreter is chosen once per region from the batched and
+     checked flags and shared by every worker: a concurrent
+     [set_checked]/[set_batched] cannot tear a run into mixed chunks *)
   let slice_interp () =
-    if Atomic.get checked then iter_envs_checked_slice else iter_envs_fast_slice
+    match (Atomic.get batched_flag, Atomic.get checked) with
+    | true, true -> iter_envs_batched_checked_slice
+    | true, false -> iter_envs_batched_slice
+    | false, true -> iter_envs_checked_slice
+    | false, false -> iter_envs_fast_slice
 
   (* [iter p f]: every satisfying environment, in an order identical to the
      sequential enumeration. Chunks buffer copies of their solutions; the
@@ -1418,10 +2415,12 @@ module Parallel = struct
           | Some tr -> log_access tr i loc ~write
           | None -> ()
         in
+        let batched = Atomic.get batched_flag in
         Fun.protect ~finally:leave (fun () ->
             run_chunks ?trace ~nd ~nchunks (fun i ->
                 let lo, hi = bounds.(i) in
                 let buf = ref [] in
+                if batched then log i (Column_block i) ~write:true;
                 interp p fc ~lo ~hi ~cancel:no_cancel (fun env ->
                     buf := Array.copy env :: !buf);
                 log i (Chunk_cell i) ~write:true;
@@ -1456,10 +2455,12 @@ module Parallel = struct
           | Some tr -> log_access tr i loc ~write
           | None -> ()
         in
+        let batched = Atomic.get batched_flag in
         Fun.protect ~finally:leave (fun () ->
             run_chunks ?trace ~nd ~nchunks (fun i ->
                 let lo, hi = bounds.(i) in
                 let n = ref 0 in
+                if batched then log i (Column_block i) ~write:true;
                 interp p fc ~lo ~hi ~cancel:no_cancel (fun _ -> incr n);
                 log i (Chunk_cell i) ~write:true;
                 counts.(i) <- !n;
@@ -1475,16 +2476,27 @@ module Parallel = struct
   exception Hit
 
   (* [sat p]: the first witness on any domain raises the shared atomic flag;
-     peers poll it between top-level candidates and stop early. *)
+     peers poll it between top-level candidates and stop early.
+
+     First-match probes stay tuple-at-a-time even in batched mode: a
+     vectorized pipeline materializes a whole morsel group (and builds its
+     probe tables) before its first result, which is exactly wrong for a
+     short-circuit that usually stops within a handful of candidates. *)
+  let sat_interp () =
+    if Atomic.get checked then iter_envs_checked_slice
+    else iter_envs_fast_slice
+
   let sat p =
     match enter p with
     | None -> (
         try
-          iter_envs_seq p (fun _ -> raise Hit);
+          (if Atomic.get checked then iter_envs_checked else iter_envs_fast)
+            p
+            (fun _ -> raise Hit);
           false
         with Hit -> true)
     | Some (nd, fc) ->
-        let interp = slice_interp () in
+        let interp = sat_interp () in
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let found = Atomic.make false in
@@ -1563,7 +2575,11 @@ module Parallel = struct
             d_chunks = nchunks;
             d_chunk_rows = (fc.fc_count + nchunks - 1) / nchunks;
             d_reason =
-              Printf.sprintf "parallel: %d chunk(s) on %d domain(s)" nchunks nd }
+              Printf.sprintf
+                "parallel: %d morsel(s) of up to %d row(s) on %d domain(s)"
+                nchunks
+                (chunk_size_for nd fc.fc_count)
+                nd }
 end
 
 let iter_envs = Parallel.iter
@@ -1647,6 +2663,7 @@ module Inspect = struct
   type par_view = {
     pv_domains : int;
     pv_min_rows : int;
+    pv_morsel_rows : int;
     pv_atom : int option;
     pv_rows : int;
     pv_sequential : bool;
@@ -1693,6 +2710,14 @@ module Inspect = struct
          { s_name = "chunk-buffers"; s_kind = Chunk_local };
          { s_name = "chunk-counts"; s_kind = Chunk_local } |]
     in
+    (* the batched interpreter's columnar state is chunk-local: each chunk
+       allocates and writes only its own slot columns *)
+    let shared =
+      if batched_enabled () then
+        Array.append shared
+          [| { s_name = "batch-columns"; s_kind = Chunk_local } |]
+      else shared
+    in
     let writes =
       [ { w_site = "chunk-dispatch";
           w_target = "chunk-dispatch-counter";
@@ -1709,6 +2734,14 @@ module Inspect = struct
           w_target = "chunk-counts";
           w_owner_only = true } ]
     in
+    let writes =
+      if batched_enabled () then
+        writes
+        @ [ { w_site = "batch-column-write";
+              w_target = "batch-columns";
+              w_owner_only = true } ]
+      else writes
+    in
     (* the seeded fault is an honest part of the runtime while enabled, so
        the static view declares its cross-chunk store — and E014 flags it *)
     let writes =
@@ -1721,6 +2754,7 @@ module Inspect = struct
     in
     { pv_domains = d.Parallel.d_domains;
       pv_min_rows = Parallel.min_rows ();
+      pv_morsel_rows = Parallel.morsel_rows ();
       pv_atom = d.Parallel.d_atom;
       pv_rows = d.Parallel.d_rows;
       pv_sequential = d.Parallel.d_chunks <= 1;
@@ -1732,6 +2766,65 @@ module Inspect = struct
       pv_snapshots =
         Array.make d.Parallel.d_domains
           (p.compiled_at, p.cdb.Db.db_version, Database.version p.src_db) }
+
+  (* ---- the batched execution layout, as plain data ------------------ *)
+
+  type batch_stage_view = {
+    bv_atom : int;                  (* plan atom index *)
+    bv_checks : (int * int) array;  (* (position, interned id) *)
+    bv_cols : (int * int) array;    (* (position, slot) column comparisons *)
+    bv_binds : (int * int) array;   (* (position, slot) column writes *)
+    bv_dups : (int * int) array;    (* (position, earlier position) *)
+    bv_filter : bool;               (* mask-narrowing stage, no new columns *)
+  }
+
+  type batch_view = {
+    b_enabled : bool;          (* current value of the batch flag *)
+    b_morsel_rows : int;       (* configured batch group width *)
+    b_stages : batch_stage_view array;  (* fixed stage order *)
+    b_columns : (int * string) array;
+        (* the columnar layout: every stage-bound slot and its variable *)
+    b_groups : int;            (* morsel groups over the top-level range *)
+  }
+
+  (* Re-derived from [batch_stages], the same pure function the batched
+     interpreter compiles its pipeline with — like [par], inspecting it
+     certifies the layout the run will actually use. *)
+  let batch (p : t) =
+    let enabled = batched_enabled () in
+    let m = Parallel.morsel_rows () in
+    match select_first p with
+    | None ->
+        { b_enabled = enabled;
+          b_morsel_rows = m;
+          b_stages = [||];
+          b_columns = [||];
+          b_groups = 0 }
+    | Some fc ->
+        let stages = batch_stages p fc in
+        let columns =
+          List.concat_map
+            (fun st ->
+              List.map
+                (fun (_, s) -> (s, Interner.get p.vars s))
+                (Array.to_list st.bs_binds))
+            stages
+        in
+        { b_enabled = enabled;
+          b_morsel_rows = m;
+          b_stages =
+            Array.of_list
+              (List.map
+                 (fun st ->
+                   { bv_atom = st.bs_atom;
+                     bv_checks = Array.copy st.bs_checks;
+                     bv_cols = Array.copy st.bs_cols;
+                     bv_binds = Array.copy st.bs_binds;
+                     bv_dups = Array.copy st.bs_dups;
+                     bv_filter = st.bs_filter })
+                 stages);
+          b_columns = Array.of_list columns;
+          b_groups = (fc.fc_count + m - 1) / m }
 
   (* the optimization trail: (view of the plan before each pass, certificate)
      per stage, plus the final view — everything Analysis.Equiv needs *)

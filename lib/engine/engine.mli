@@ -105,6 +105,29 @@ val set_optimize : bool -> unit
 
 val optimize_enabled : unit -> bool
 
+(** {2 Batched (vectorized) execution}
+
+    By default the engine executes each compiled instruction over a vector
+    of candidate environments at once: the environment vector is columnar
+    (one flat [int array] per stage-bound slot, batch-row indexed), checks
+    narrow a survivor bitmask in place, and index probes sort/group the
+    batch by probe key so counted-cell lookups become sequential runs. The
+    pipeline runs the atoms in a fixed order — the pre-computed top-level
+    choice, then the static order — which makes slot boundness uniform
+    across a batch; enumeration order is the depth-first order of that
+    fixed-order recursion, identical at every pool size (chunk-order
+    replay), and validated env-for-env against a scalar fixed-order twin
+    in checked mode. Top-level candidates are processed in groups of
+    {!Parallel.morsel_rows} rows, bounding the columnar footprint.
+
+    [WDPT_ENGINE_BATCH=0] (or {!set_batched}[ false]) falls back to the
+    tuple-at-a-time interpreter with dynamic per-node atom selection; the
+    two modes produce the same answer multiset, though possibly in a
+    different order ([wdpt_fuzz --batch-diff] checks set equality). *)
+
+val set_batched : bool -> unit
+val batched_enabled : unit -> bool
+
 (** Number of environment slots (distinct variables occurring in the atoms). *)
 val slot_count : t -> int
 
@@ -197,13 +220,29 @@ module Parallel : sig
 
   val min_rows : unit -> int
 
-  (** [chunk_bounds count nchunks]: the [nchunks] near-equal contiguous
-      slices of [0, count) as [(lo, hi)] pairs — the exact partition a
-      region uses (and the one [Analysis.Par_audit] E011 re-checks). *)
+  (** Morsel size: the maximum rows per parallel chunk and the batch group
+      size of the vectorized interpreter (default 1024, clamped to
+      [1 .. 2^20]). Initialized from [WDPT_ENGINE_MORSEL]. Capping chunk
+      size at the morsel fixes the single-huge-chunk skew: one fat
+      top-level range now splits into many morsels drained from the shared
+      counter instead of [4 × pool] static slices. *)
+  val set_morsel_rows : int -> unit
+
+  val morsel_rows : unit -> int
+
+  (** [chunk_size_for nd count]: rows per chunk for a pool of [nd] over
+      [count] candidate rows — [ceil (count / (4 * nd))] capped at
+      {!morsel_rows}, at least 1. *)
+  val chunk_size_for : int -> int -> int
+
+  (** [chunk_bounds count nchunks]: the [nchunks] fixed-stride contiguous
+      morsel slices of [0, count) as [(lo, hi)] pairs (uniform stride,
+      ragged last chunk) — the exact partition a region uses (and the one
+      [Analysis.Par_audit] E011/E016 re-check). *)
   val chunk_bounds : int -> int -> (int * int) array
 
-  (** [nchunks_for nd count = min count (nd * 4)]: chunks per region for a
-      pool of [nd] over [count] candidate rows. *)
+  (** [nchunks_for nd count = ceil (count / chunk_size_for nd count)]:
+      chunks per region for a pool of [nd] over [count] candidate rows. *)
   val nchunks_for : int -> int -> int
 
   (** {2 Data-race sanitizer}
@@ -355,6 +394,8 @@ module Inspect : sig
   type par_view = {
     pv_domains : int;  (** configured pool size *)
     pv_min_rows : int;  (** parallelism threshold ({!Parallel.min_rows}) *)
+    pv_morsel_rows : int;  (** morsel cap ({!Parallel.morsel_rows}); no
+            chunk may exceed it (E016) *)
     pv_atom : int option;  (** re-derived top-level atom (plan index) *)
     pv_rows : int;  (** top-level candidate rows *)
     pv_sequential : bool;  (** true when the region falls back to one chunk *)
@@ -373,6 +414,47 @@ module Inspect : sig
   }
 
   val par : t -> par_view
+
+  (** {2 The batched execution layout}
+
+      Plain-data view of the vectorized interpreter's stage pipeline and
+      columnar layout for this plan — re-derived from the same pure stage
+      compiler the runtime uses, so what [explain] prints is what runs. *)
+
+  (** One pipeline stage: the instruction vector of one atom, split by
+      role. [(pos, v)] pairs are argument positions of the atom's stored
+      relation. *)
+  type batch_stage_view = {
+    bv_atom : int;  (** plan atom index this stage matches *)
+    bv_checks : (int * int) array;
+        (** (pos, interned id): constant equality, including init-bound
+            slots folded to constants at stage-compile time *)
+    bv_cols : (int * int) array;
+        (** (pos, slot): compare against a column bound by an earlier
+            stage — these positions form the batched probe key *)
+    bv_binds : (int * int) array;
+        (** (pos, slot): first occurrence — writes the slot's column *)
+    bv_dups : (int * int) array;
+        (** (pos, earlier pos): repeated variable within the atom *)
+    bv_filter : bool;
+        (** no binds: the stage only narrows the survivor mask
+            (existence semantics — stored facts are deduplicated) *)
+  }
+
+  type batch_view = {
+    b_enabled : bool;  (** {!Engine.batched_enabled} at inspection time *)
+    b_morsel_rows : int;  (** batch group size ({!Parallel.morsel_rows}) *)
+    b_stages : batch_stage_view array;
+        (** fixed stage order: top-level choice first, then the static
+            order — empty for infeasible or atomless plans *)
+    b_columns : (int * string) array;
+        (** the columnar environment: (slot, variable name) per
+            stage-bound slot, one flat [int array] each at run time *)
+    b_groups : int;
+        (** morsel groups the top-level candidate range splits into *)
+  }
+
+  val batch : t -> batch_view
 
   (** The optimization trail: one [(view of the plan before the pass,
       certificate)] pair per pass, plus the final view. [([], plan p)] for

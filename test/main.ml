@@ -18,6 +18,7 @@ let () =
          ("engine", Test_engine.suite);
          ("parallel", Test_parallel.suite);
          ("par-audit", Test_par_audit.suite);
+         ("batch", Test_batch.suite);
          ("hypergraph", Test_hypergraph.suite);
          ("cq", Test_cq.suite);
          ("pattern-tree", Test_pattern_tree.suite);

@@ -1,4 +1,4 @@
-(* The concurrency auditor (Analysis.Par_audit, E011-E015) and the data-race
+(* The concurrency auditor (Analysis.Par_audit, E011-E016) and the data-race
    sanitizer: genuine parallel plans audit clean at every pool size, each
    corruption of the par_view draws exactly its E-code with the exact
    machine-checkable witness, sanitized parallel runs report zero races and
@@ -222,6 +222,51 @@ let test_e015 () =
           check_int "ref live" l ref_live
       | _ -> Alcotest.fail "E015: wrong code or witness")
 
+let test_e016 () =
+  with_engine ~domains:4 ~min_rows:1 (fun () ->
+      let v = I.par (compile_plan ()) in
+      let rows = v.I.pv_rows in
+      check_bool "chunked" true (Array.length v.I.pv_chunks > 1);
+      (* fat chunk: a coverage-clean partition whose second chunk exceeds the
+         cap — exactly the single-huge-chunk skew morsels exist to fix *)
+      let fat =
+        { v with I.pv_morsel_rows = 4; pv_chunks = [| (0, 2); (2, rows) |] }
+      in
+      (match audit1 "fat" fat with
+      | { D.code = D.Morsel_coverage;
+          witness =
+            Some (D.Morsel { chunk = 1; lo = 2; hi; stride = 2; morsel = 4 });
+          _
+        } ->
+          check_int "fat hi" rows hi
+      | _ -> Alcotest.fail "E016 fat: wrong code or witness");
+      (* broken stride: a chunk before the last deviates from chunk 0's *)
+      (match
+         audit1 "stride"
+           { v with I.pv_chunks = [| (0, 20); (20, 25); (25, rows) |] }
+       with
+      | { D.code = D.Morsel_coverage;
+          witness =
+            Some (D.Morsel { chunk = 1; lo = 20; hi = 25; stride = 20; _ });
+          _
+        } ->
+          ()
+      | _ -> Alcotest.fail "E016 stride: wrong code or witness");
+      (* overlong tail: the last chunk is wider than the stride *)
+      (match
+         audit1 "tail" { v with I.pv_chunks = [| (0, 2); (2, 4); (4, rows) |] }
+       with
+      | { D.code = D.Morsel_coverage;
+          witness = Some (D.Morsel { chunk = 2; lo = 4; hi; stride = 2; _ });
+          _
+        } ->
+          check_int "tail hi" rows hi
+      | _ -> Alcotest.fail "E016 tail: wrong code or witness");
+      (* gated on E011: a broken partition draws coverage, not morsel *)
+      match audit1 "gated" { v with I.pv_chunks = [| (0, 2); (3, rows) |] } with
+      | { D.code = D.Chunk_coverage; _ } -> ()
+      | _ -> Alcotest.fail "E016 gating: expected the E011 finding alone")
+
 (* ---- race sanitizer ------------------------------------------------------ *)
 
 let test_sanitizer_clean () =
@@ -313,8 +358,8 @@ let test_explain_consistency () =
       (* the JSON schemas the explain CLI emits, locked *)
       check_bool "par_audit json schema" true
         (json_keys (Analysis.Par_audit.par_json v)
-        = [ "domains"; "min-rows"; "atom"; "rows"; "sequential"; "reason";
-            "chunks"; "reducers"; "shared"; "writes"; "snapshots" ]);
+        = [ "domains"; "min-rows"; "morsel-rows"; "atom"; "rows"; "sequential";
+            "reason"; "chunks"; "reducers"; "shared"; "writes"; "snapshots" ]);
       check_bool "parallel json schema" true
         (json_keys (Analysis.Cost.parallel_json decision)
         = [ "domains"; "atom"; "rows"; "chunks"; "chunk-rows"; "reason" ]))
@@ -351,6 +396,7 @@ let suite =
     Alcotest.test_case "E013 cancellation drops answers" `Quick test_e013;
     Alcotest.test_case "E014 undeclared shared write" `Quick test_e014;
     Alcotest.test_case "E015 cross-domain version skew" `Quick test_e015;
+    Alcotest.test_case "E016 morsel coverage" `Quick test_e016;
     Alcotest.test_case "sanitizer: clean parallel runs" `Quick
       test_sanitizer_clean;
     Alcotest.test_case "sanitizer: fault injection caught" `Quick
