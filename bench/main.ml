@@ -51,7 +51,7 @@ let write_json path =
       []
       (List.rev !records)
   in
-  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 7,\n  \"experiments\": {\n";
+  Printf.fprintf oc "{\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 8,\n  \"experiments\": {\n";
   let n_groups = List.length groups in
   List.iteri
     (fun gi (exp_id, cell) ->
@@ -816,6 +816,96 @@ let audit_overhead () =
     [ 3; 4; 5 ]
 
 (* ---------------------------------------------------------------- *)
+(* RESOURCE: batch audit + envelope are O(plan); envelope soundness   *)
+(* ---------------------------------------------------------------- *)
+
+let resource_envelope () =
+  section "RESOURCE"
+    "Batch_audit + Resource envelope are O(plan), not O(data); certified vs measured marks";
+  Format.printf
+    "the audit and the envelope read view summaries only, so their cost@.";
+  Format.printf
+    "must stay flat as |D| grows; after a batched run every measured@.";
+  Format.printf
+    "high-water mark must stay within its certified component (sound),@.";
+  Format.printf
+    "and the certified/measured ratio shows how tight the envelope is.@.";
+  let was_batched = Engine.batched_enabled () in
+  let q = Workload.Gen_cq.chain 4 in
+  let body = Cq.Query.body q in
+  print_row "  %8s  %12s  %14s  %10s  %10s  %10s@." "|D|" "audit(ms)"
+    "envelope(ms)" "col-ratio" "dense-ratio" "replay-rat";
+  let audit_points = ref [] in
+  List.iter
+    (fun size ->
+      let db =
+        Workload.Gen_db.random_graph_db ~seed:29 ~nodes:(size / 4) ~edges:size
+      in
+      let p = Engine.compile db body ~init:Mapping.empty in
+      let t_audit = time_it (fun () -> ignore (Analysis.Batch_audit.audit p)) in
+      let t_env = time_it (fun () -> ignore (Analysis.Resource.of_plan p)) in
+      (* checked mode arms the per-group replay buffer, so all three
+         envelope components see a nonzero measured mark *)
+      let was_checked = Engine.checked_enabled () in
+      Engine.set_batched true;
+      Engine.set_checked true;
+      let r =
+        Fun.protect
+          ~finally:(fun () ->
+            Engine.set_batched was_batched;
+            Engine.set_checked was_checked)
+          (fun () ->
+            let r = Analysis.Resource.of_plan p in
+            Engine.reset_batch_stats ();
+            ignore (Engine.count_envs p);
+            Engine.iter_envs p (fun _ -> ());
+            r)
+      in
+      let s = Engine.batch_stats () in
+      if Analysis.Batch_audit.check_envelope r s <> [] then
+        failwith
+          (Printf.sprintf "RESOURCE: envelope violated at |D|=%d" size);
+      let ratio certified measured =
+        if measured = 0 then nan
+        else float_of_int certified /. float_of_int measured
+      in
+      let rc = ratio r.Analysis.Resource.r_column_words s.Engine.bm_column_words in
+      let rd = ratio r.Analysis.Resource.r_dense_words s.Engine.bm_dense_words in
+      let rr = ratio r.Analysis.Resource.r_replay_rows s.Engine.bm_replay_rows in
+      let pp_ratio ppf x =
+        if Float.is_nan x then Format.fprintf ppf "%10s" "n/a"
+        else Format.fprintf ppf "%9.1fx" x
+      in
+      print_row "  %8d  %12.4f  %14.4f  %a  %a  %a@." size (t_audit *. 1000.)
+        (t_env *. 1000.) pp_ratio rc pp_ratio rd pp_ratio rr;
+      record "RESOURCE" (Printf.sprintf "audit |D|=%d" size) t_audit;
+      record "RESOURCE" (Printf.sprintf "envelope |D|=%d" size) t_env;
+      if not (Float.is_nan rc) then
+        record "RESOURCE" (Printf.sprintf "column-ratio |D|=%d" size) rc;
+      if not (Float.is_nan rd) then
+        record "RESOURCE" (Printf.sprintf "dense-ratio |D|=%d" size) rd;
+      if not (Float.is_nan rr) then
+        record "RESOURCE" (Printf.sprintf "replay-ratio |D|=%d" size) rr;
+      audit_points := (size, t_audit +. t_env) :: !audit_points)
+    (if !smoke then [ 200; 800 ] else [ 400; 1600; 6400 ]);
+  print_row
+    "  audit+envelope growth exponent in |D|: %.2f  (acceptance: ~0, O(plan) not O(data))@."
+    (loglog_slope (List.rev !audit_points));
+  (* cost against plan size on a fixed database *)
+  print_row "  %8s  %12s  %14s@." "atoms" "audit(ms)" "envelope(ms)";
+  let db = Workload.Gen_db.random_graph_db ~seed:29 ~nodes:100 ~edges:400 in
+  List.iter
+    (fun n ->
+      let body = Cq.Query.body (Workload.Gen_cq.chain n) in
+      let p = Engine.compile db body ~init:Mapping.empty in
+      let t_audit = time_it (fun () -> ignore (Analysis.Batch_audit.audit p)) in
+      let t_env = time_it (fun () -> ignore (Analysis.Resource.of_plan p)) in
+      print_row "  %8d  %12.4f  %14.4f@." n (t_audit *. 1000.) (t_env *. 1000.);
+      record "RESOURCE" (Printf.sprintf "audit atoms=%d" n) t_audit;
+      record "RESOURCE" (Printf.sprintf "envelope atoms=%d" n) t_env)
+    [ 2; 4; 8 ]
+
+(* ---------------------------------------------------------------- *)
 (* OPT: the pass pipeline is O(plan); optimized vs unoptimized        *)
 (* ---------------------------------------------------------------- *)
 
@@ -1138,7 +1228,7 @@ let () =
       ("--smoke", Arg.Set smoke,
        "  quick subset (t1a + engine + batch + opt + par + race, reduced sizes) for CI");
       ("--only", Arg.String (fun s -> only := Some s),
-       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine batch audit opt par race bechamel)");
+       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine batch audit resource opt par race bechamel)");
       ("--morsel-rows", Arg.Int (fun n ->
            if n < 1 then raise (Arg.Bad "--morsel-rows: morsel size must be >= 1");
            Engine.Parallel.set_morsel_rows n),
@@ -1153,11 +1243,25 @@ let () =
        "N  ambient parallel-region row threshold (>= 1)") ]
   in
   Arg.parse args (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  (* an unknown --only must fail loudly (a typo silently running nothing
+     looks like a passing benchmark), listing what is available *)
+  let experiments =
+    [ "t1a"; "t1b"; "t1pf"; "t1hw"; "t1pm"; "t1sub"; "t2mem"; "t2app"; "fig2";
+      "cor2"; "prop2"; "engine"; "batch"; "audit"; "resource"; "opt"; "par";
+      "race"; "bechamel" ]
+  in
+  (match !only with
+  | Some s when not (List.mem s experiments) ->
+      Printf.eprintf
+        "bench: unknown experiment %S for --only; available: %s\n" s
+        (String.concat " " experiments);
+      exit 2
+  | _ -> ());
   Format.printf "WDPT reproduction benchmarks (Barceló & Pichler, PODS 2015)@.";
   let want name =
     if !smoke then
-      name = "t1a" || name = "engine" || name = "batch" || name = "opt"
-      || name = "par" || name = "race"
+      name = "t1a" || name = "engine" || name = "batch" || name = "resource"
+      || name = "opt" || name = "par" || name = "race"
     else match !only with None -> true | Some s -> s = name
   in
   if want "t1a" then t1_eval_tractable ();
@@ -1174,6 +1278,7 @@ let () =
   if want "engine" then engine_speedup ();
   if want "batch" then batch_exec ();
   if want "audit" then audit_overhead ();
+  if want "resource" then resource_envelope ();
   if want "opt" then opt_pipeline ();
   if want "par" then par_runtime ();
   if want "race" then race_sanitizer ();

@@ -97,6 +97,69 @@ let morsel_rows_arg =
   in
   Arg.(value & opt (some int) None & info [ "morsel-rows" ] ~docv:"N" ~doc)
 
+let max_mem_arg =
+  let doc =
+    "Admission control: reject the command with exit code 3 when the \
+     certified resource envelope of the compiled plan exceeds $(docv) \
+     bytes. The envelope is the static peak-memory bound certified by the \
+     batch-pipeline auditor (the $(b,resource:) block of $(b,explain))."
+  in
+  Arg.(value & opt (some int) None & info [ "max-mem" ] ~docv:"BYTES" ~doc)
+
+let degrade_arg =
+  let doc =
+    "With $(b,--max-mem): instead of rejecting outright, degrade to the \
+     scalar sequential interpreter (batch pipeline off, one domain) and \
+     re-certify; exit 3 only if even the degraded envelope exceeds the \
+     budget."
+  in
+  Arg.(value & flag & info [ "degrade" ] ~doc)
+
+(* Exit code 3 is reserved for admission rejections, so scripts can tell
+   "too expensive under --max-mem" from diagnostic findings (1/2). *)
+let exit_admission_reject = 3
+
+(* The gate certifies the full-tree plan: the widest CQ the evaluation
+   compiles (per-node plans are plans of sub-bodies, so its envelope
+   dominates theirs under the same configuration). *)
+let admission_gate ~budget ~degrade db q =
+  match budget with
+  | None -> ()
+  | Some budget ->
+      let atoms = Cq.Query.body q in
+      let plan = Engine.compile db atoms ~init:Relational.Mapping.empty in
+      let r = Analysis.Resource.of_plan plan in
+      if Analysis.Resource.admits r ~budget then ()
+      else if degrade then begin
+        Engine.set_batched false;
+        Engine.Parallel.set_domains 1;
+        let r = Analysis.Resource.of_plan plan in
+        if Analysis.Resource.admits r ~budget then
+          Format.eprintf
+            "max-mem: degraded to scalar-sequential — certified peak %d \
+             byte(s) within the %d-byte budget@."
+            r.Analysis.Resource.r_peak_bytes budget
+        else begin
+          Format.eprintf
+            "max-mem: rejected — even the scalar-sequential certified peak \
+             (%d byte(s)%s) exceeds the %d-byte budget@."
+            r.Analysis.Resource.r_peak_bytes
+            (if r.Analysis.Resource.r_saturated then ", saturated" else "")
+            budget;
+          exit exit_admission_reject
+        end
+      end
+      else begin
+        Format.eprintf
+          "max-mem: rejected — certified peak %d byte(s)%s exceeds the \
+           %d-byte budget (use --degrade to fall back to \
+           scalar-sequential)@."
+          r.Analysis.Resource.r_peak_bytes
+          (if r.Analysis.Resource.r_saturated then ", saturated" else "")
+          budget;
+        exit exit_admission_reject
+      end
+
 let apply_engine_config domains min_rows morsel_rows =
   (match domains with
   | Some n when n < 1 || n > 64 ->
@@ -118,10 +181,11 @@ let apply_engine_config domains min_rows morsel_rows =
 
 let eval_cmd =
   let run query data maximal relational limit offset domains min_rows
-      morsel_rows =
+      morsel_rows max_mem degrade =
     apply_engine_config domains min_rows morsel_rows;
     let p = or_die (load_tree ~relational query) in
     let db = or_die (load_db ~relational data) in
+    admission_gate ~budget:max_mem ~degrade db (Wdpt.Pattern_tree.q_full p);
     let print_answer h = Format.printf "%a@." Relational.Mapping.pp h in
     if limit = None && offset = 0 then begin
       (* exact answer set, cardinality first *)
@@ -188,7 +252,8 @@ let eval_cmd =
     (Cmd.info "eval"
        ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
     Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
-          $ offset $ domains_arg $ min_rows_arg $ morsel_rows_arg)
+          $ offset $ domains_arg $ min_rows_arg $ morsel_rows_arg
+          $ max_mem_arg $ degrade_arg)
 
 let classify_cmd =
   let run query k relational =
@@ -364,7 +429,8 @@ let race_json report =
           ("verdict", Str verdict) ]
 
 let explain_cmd =
-  let run query data format relational opt domains min_rows morsel_rows =
+  let run query data format relational opt domains min_rows morsel_rows
+      max_mem =
     apply_engine_config domains min_rows morsel_rows;
     let lint_ds = lint_source ~relational query in
     let fatal =
@@ -405,7 +471,34 @@ let explain_cmd =
     let pview = Engine.Inspect.par plan in
     let bview = Engine.Inspect.batch plan in
     let par_ds = Analysis.Par_audit.audit_view pview in
-    let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds in
+    let batch_ds = Analysis.Batch_audit.audit_view view bview in
+    let resource = Analysis.Resource.analyze view pview bview in
+    let admitted =
+      Option.map
+        (fun budget -> Analysis.Resource.admits resource ~budget)
+        max_mem
+    in
+    let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds @ batch_ds in
+    let exit_code =
+      match admitted with
+      | Some false -> exit_admission_reject
+      | _ -> Analysis.Diagnostic.exit_code ds
+    in
+    let resource_json =
+      let base =
+        match Analysis.Resource.to_json resource with
+        | Analysis.Json.Obj fields -> fields
+        | j -> [ ("envelope", j) ]
+      in
+      Analysis.Json.Obj
+        (base
+        @
+        match (max_mem, admitted) with
+        | Some budget, Some ok ->
+            [ ("budget", Analysis.Json.Int budget);
+              ("admitted", Analysis.Json.Bool ok) ]
+        | _ -> [])
+    in
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
     let partition = Engine.Parallel.decision plan in
     let race = race_report plan in
@@ -438,10 +531,11 @@ let explain_cmd =
                  ("parallel", Analysis.Cost.parallel_json partition);
                  ("par_audit", Analysis.Par_audit.par_json pview);
                  ("batch", Analysis.Par_audit.batch_json bview);
+                 ("batch_audit", Analysis.Diagnostic.report_json batch_ds);
+                 ("resource", resource_json);
                  ("race", race_json race);
                  ("tree", tree_json);
-                 ( "exit-code",
-                   Analysis.Json.Int (Analysis.Diagnostic.exit_code ds) ) ]))
+                 ("exit-code", Analysis.Json.Int exit_code) ]))
     | `Text ->
         Format.printf "@[<v>plan:@,%a@]@." Analysis.Plan_audit.pp_view view;
         if ds = [] then Format.printf "audit: clean@."
@@ -461,6 +555,19 @@ let explain_cmd =
         Format.printf "@[<v>%a@]@." Analysis.Cost.pp_parallel partition;
         Format.printf "@[<v>par-audit:@,%a@]@." Analysis.Par_audit.pp_par pview;
         Format.printf "@[<v>%a@]@." Analysis.Par_audit.pp_batch bview;
+        (if batch_ds = [] then Format.printf "batch-audit: clean@."
+         else begin
+           Format.printf "batch-audit:@.";
+           List.iter (Format.printf "  %a@." Analysis.Diagnostic.pp) batch_ds
+         end);
+        Format.printf "@[<v>resource:@,%a@]@." Analysis.Resource.pp resource;
+        (match (max_mem, admitted) with
+        | Some budget, Some ok ->
+            Format.printf
+              "admission: %s — certified peak %d byte(s), budget %d byte(s)@."
+              (if ok then "admit" else "reject (exit 3)")
+              resource.Analysis.Resource.r_peak_bytes budget
+        | _ -> ());
         (match race with
         | None -> Format.printf "race sanitizer: off@."
         | Some (regions, events, races, verdict) ->
@@ -472,7 +579,7 @@ let explain_cmd =
           | Some (k, c) ->
               Printf.sprintf " (locally TW(%d), interface %d)" k c
           | None -> ""));
-    exit (Analysis.Diagnostic.exit_code ds)
+    exit exit_code
   in
   let data_opt =
     Arg.(value & opt (some file) None
@@ -497,10 +604,14 @@ let explain_cmd =
              summary. Also audits the parallel execution plan (E011-E016), \
              reports the batched-execution decision (stage pipeline, \
              columnar layout, morsel geometry) and, when WDPT_ENGINE_TSAN=1, \
-             runs the data-race sanitizer over one parallel count. Exit \
-             codes match $(b,lint): 0 = clean, 1 = warnings, 2 = errors.")
+             runs the data-race sanitizer over one parallel count. Also \
+             audits the batched layout (E017-E020) and certifies a resource \
+             envelope for admission control ($(b,--max-mem)). Exit codes \
+             match $(b,lint): 0 = clean, 1 = warnings, 2 = errors; 3 = \
+             rejected by $(b,--max-mem).")
     Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg
-          $ opt_arg $ domains_arg $ min_rows_arg $ morsel_rows_arg)
+          $ opt_arg $ domains_arg $ min_rows_arg $ morsel_rows_arg
+          $ max_mem_arg)
 
 let check_cmd =
   let run query relational =

@@ -8,6 +8,7 @@
           wdpt_fuzz --par-diff [COUNT] [SEED]
           wdpt_fuzz --race-diff [COUNT] [SEED]
           wdpt_fuzz --batch-diff [COUNT] [SEED]
+          wdpt_fuzz --batch-audit-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
 
@@ -42,7 +43,14 @@
    and the CQ level (the enumeration orders legitimately differ: the
    batched pipeline runs atoms in the fixed static order while the scalar
    path re-selects per node). A small random morsel size forces group
-   boundaries through even tiny draws. *)
+   boundaries through even tiny draws.
+
+   --batch-audit-diff COUNT runs the batch-pipeline auditor differential
+   (default 300): on COUNT random instances the genuine batched layout must
+   audit clean (zero E017-E020) at domain pools of 1 and 2, and after a
+   count plus a full enumeration of the plan every measured batch_stats
+   high-water mark must stay within the certified Analysis.Resource
+   envelope (zero E021), with randomized morsel size and checked mode. *)
 
 open Relational
 
@@ -346,6 +354,103 @@ let batch_diff_main count seed0 =
     count seed0 !skipped !bad;
   exit (if !bad = 0 then 0 else 1)
 
+(* ---- batch-audit differential ------------------------------------------- *)
+
+(* One instance of the --batch-audit-diff mode: the genuine batched layout
+   audits clean (E017-E020) at pools 1 and 2, and after running the plan
+   (one count, one full enumeration — the latter crosses the parallel
+   buffering and, when the random draw arms checked mode, the per-group
+   replay) every measured high-water mark stays within the certified
+   resource envelope (zero E021). The morsel size is randomized like
+   --batch-diff so group boundaries land inside small draws. *)
+let check_batch_audit_diff st p db =
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let morsel = pick [ 1; 2; 7; 1024 ] in
+  let checked = pick [ false; true ] in
+  let atoms = Cq.Query.body (Wdpt.Pattern_tree.q_full p) in
+  List.iter
+    (fun nd ->
+      let tag s =
+        Printf.sprintf "%s@%d-domains-morsel-%d%s" s nd morsel
+          (if checked then "-checked" else "")
+      in
+      Engine.set_batched true;
+      Engine.set_checked checked;
+      Engine.Parallel.set_domains nd;
+      Engine.Parallel.set_min_rows 1;
+      Engine.Parallel.set_morsel_rows morsel;
+      Fun.protect
+        ~finally:(fun () ->
+          Engine.set_batched true;
+          Engine.set_checked false;
+          Engine.Parallel.set_domains 1;
+          Engine.Parallel.set_min_rows 128;
+          Engine.Parallel.set_morsel_rows 1024)
+        (fun () ->
+          let plan = Engine.compile db atoms ~init:Mapping.empty in
+          (match Analysis.Batch_audit.audit plan with
+          | [] -> ()
+          | ds ->
+              fail
+                (tag
+                   ("audit-"
+                   ^ String.concat "+"
+                       (List.map
+                          (fun d ->
+                            Analysis.Diagnostic.code_id
+                              d.Analysis.Diagnostic.code)
+                          ds))));
+          let resource = Analysis.Resource.of_plan plan in
+          Engine.reset_batch_stats ();
+          ignore (Engine.count_envs plan);
+          Engine.iter_envs plan (fun _ -> ());
+          let stats = Engine.batch_stats () in
+          match Analysis.Batch_audit.check_envelope resource stats with
+          | [] -> ()
+          | ds ->
+              fail
+                (tag
+                   ("envelope-"
+                   ^ String.concat "+"
+                       (List.map
+                          (fun d ->
+                            match d.Analysis.Diagnostic.witness with
+                            | Some
+                                (Analysis.Diagnostic.Envelope
+                                   { component; certified; measured }) ->
+                                Printf.sprintf "%s-%d>%d" component measured
+                                  certified
+                            | _ -> "E021")
+                          ds)))))
+    [ 1; 2 ];
+  !failures
+
+let batch_audit_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      let st = Random.State.make [| !seed; 0xa0d1 |] in
+      match check_batch_audit_diff st p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "batch-audit-diff: %d instance(s) from seed %d (%d oversized skipped): \
+     %d failure(s)\n"
+    count seed0 !skipped !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 let race_diff_main count seed0 =
   let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
   let seed = ref seed0 in
@@ -451,6 +556,15 @@ let () =
       if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
     in
     batch_diff_main count seed0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--batch-audit-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    batch_audit_diff_main count seed0
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--race-diff" then begin
     let count =

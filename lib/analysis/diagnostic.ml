@@ -28,6 +28,11 @@ type code =
   | Undeclared_write
   | Version_skew
   | Morsel_coverage
+  | Stage_read_before_bind
+  | Column_aliasing
+  | Position_cover
+  | Filter_binds
+  | Resource_envelope
 
 let code_id = function
   | Parse_error -> "S001"
@@ -54,6 +59,11 @@ let code_id = function
   | Undeclared_write -> "E014"
   | Version_skew -> "E015"
   | Morsel_coverage -> "E016"
+  | Stage_read_before_bind -> "E017"
+  | Column_aliasing -> "E018"
+  | Position_cover -> "E019"
+  | Filter_binds -> "E020"
+  | Resource_envelope -> "E021"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -80,6 +90,11 @@ let code_name = function
   | Undeclared_write -> "undeclared-shared-write"
   | Version_skew -> "cross-domain-version-skew"
   | Morsel_coverage -> "morsel-coverage"
+  | Stage_read_before_bind -> "stage-read-before-bind"
+  | Column_aliasing -> "column-aliasing"
+  | Position_cover -> "incomplete-position-cover"
+  | Filter_binds -> "filter-stage-binds"
+  | Resource_envelope -> "unsound-resource-envelope"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -90,6 +105,9 @@ let code_severity = function
   | Slot_renaming | Dropped_check | Reorder_violation | Cert_mismatch -> Error
   | Chunk_coverage | Unsound_reducer | Cancel_drops | Undeclared_write
   | Version_skew | Morsel_coverage ->
+      Error
+  | Stage_read_before_bind | Column_aliasing | Position_cover | Filter_binds
+  | Resource_envelope ->
       Error
 
 type witness =
@@ -149,6 +167,11 @@ type witness =
       ref_live : int;
     }
   | Morsel of { chunk : int; lo : int; hi : int; stride : int; morsel : int }
+  | Read_before_bind of { stage : int; atom : int; pos : int; slot : int; binder : int }
+  | Aliased of { slot : int; first_stage : int; second_stage : int; init : bool }
+  | Cover of { stage : int; atom : int; arity : int; covered : int; missing : int }
+  | Filter_bind of { stage : int; atom : int; binds : int; streamed : bool }
+  | Envelope of { component : string; certified : int; measured : int }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -346,6 +369,37 @@ let witness_json w =
           ("hi", Int hi);
           ("stride", Int stride);
           ("morsel-rows", Int morsel) ]
+  | Read_before_bind { stage; atom; pos; slot; binder } ->
+      kind "stage-read-before-bind"
+        [ ("stage", Int stage);
+          ("atom", Int atom);
+          ("position", Int pos);
+          ("slot", Int slot);
+          ("binder", if binder < 0 then Json.Null else Int binder) ]
+  | Aliased { slot; first_stage; second_stage; init } ->
+      kind "column-aliasing"
+        [ ("slot", Int slot);
+          ("first-stage", if first_stage < 0 then Json.Null else Int first_stage);
+          ("second-stage", Int second_stage);
+          ("init-bound", Bool init) ]
+  | Cover { stage; atom; arity; covered; missing } ->
+      kind "incomplete-position-cover"
+        [ ("stage", Int stage);
+          ("atom", Int atom);
+          ("arity", Int arity);
+          ("covered", Int covered);
+          ("missing-position", Int missing) ]
+  | Filter_bind { stage; atom; binds; streamed } ->
+      kind "filter-stage-binds"
+        [ ("stage", Int stage);
+          ("atom", Int atom);
+          ("binds", Int binds);
+          ("streamed", Bool streamed) ]
+  | Envelope { component; certified; measured } ->
+      kind "unsound-resource-envelope"
+        [ ("component", Str component);
+          ("certified", Int certified);
+          ("measured", Int measured) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

@@ -77,7 +77,28 @@
       stride before the last chunk, or an overlong tail (error). Generalizes
       E011: coverage says the slices partition the range, E016 says they are
       the fixed-stride morsels the runtime promises (checked only when E011
-      is clean). *)
+      is clean).
+
+    The E017–E021 codes are findings of the batch-pipeline auditor
+    ({!Batch_audit}) over the vectorized execution plan
+    ({!Engine.Inspect.batch_view}) and the certified resource envelope
+    ({!Resource}):
+
+    - [E017 stage-read-before-bind] — a probe column references a slot no
+      earlier stage bound and that carries no init-time constant, so the
+      probe would chase garbage values (error);
+    - [E018 column-aliasing] — two stages bind the same slot column, or a
+      bind overwrites an init-bound slot: the later writer silently clobbers
+      the earlier one's column (error);
+    - [E019 incomplete-position-cover] — a stage's checks ∪ probe columns ∪
+      binds ∪ duplicate ties do not cover its stored relation's arity, so
+      the probe over-matches rows the scalar semantics would reject (error);
+    - [E020 filter-stage-binds] — a stage flagged as a pure filter that
+      nonetheless binds columns, or a streamed final stage whose output some
+      later consumer reads as a materialized column (error);
+    - [E021 unsound-resource-envelope] — a certified peak-memory envelope
+      component ({!Resource}) smaller than a measured high-water mark, i.e.
+      the admission-control bound under-promised (error). *)
 
 open Relational
 
@@ -108,6 +129,11 @@ type code =
   | Undeclared_write  (** E014 *)
   | Version_skew  (** E015 *)
   | Morsel_coverage  (** E016 *)
+  | Stage_read_before_bind  (** E017 *)
+  | Column_aliasing  (** E018 *)
+  | Position_cover  (** E019 *)
+  | Filter_binds  (** E020 *)
+  | Resource_envelope  (** E021 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -244,6 +270,40 @@ type witness =
       stride : int;  (** the uniform stride (width of chunk 0) *)
       morsel : int;  (** the configured cap ({!Engine.Parallel.morsel_rows}) *)
     }  (** E016 *)
+  | Read_before_bind of {
+      stage : int;  (** the reading stage (fixed-order index) *)
+      atom : int;  (** its plan atom index *)
+      pos : int;  (** the probing position within the atom *)
+      slot : int;  (** the slot the probe chases *)
+      binder : int;
+          (** the stage the view claims bound it, [-1] = init / unbound *)
+    }  (** E017 *)
+  | Aliased of {
+      slot : int;
+      first_stage : int;  (** earlier binder, [-1] = bound at init *)
+      second_stage : int;  (** the stage that binds it again *)
+      init : bool;  (** the clobbered binding is an init-time constant *)
+    }  (** E018 *)
+  | Cover of {
+      stage : int;
+      atom : int;
+      arity : int;  (** the stored relation's arity *)
+      covered : int;  (** positions the stage accounts for *)
+      missing : int;  (** first uncovered position *)
+    }  (** E019 *)
+  | Filter_bind of {
+      stage : int;
+      atom : int;
+      binds : int;  (** how many columns the "filter" binds *)
+      streamed : bool;
+          (** true: the streamed final stage's output is read as a column *)
+    }  (** E020 *)
+  | Envelope of {
+      component : string;
+          (** ["column-words"] / ["probe-table-words"] / ["replay-rows"] *)
+      certified : int;  (** the envelope's claimed bound *)
+      measured : int;  (** the high-water mark that exceeded it *)
+    }  (** E021 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

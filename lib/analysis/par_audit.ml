@@ -327,14 +327,18 @@ let batch_json (b : I.batch_view) =
                      ("filter", Bool st.I.bv_filter) ])) ) ]
 
 let pp_batch ppf (b : I.batch_view) =
-  if not b.I.b_enabled then
-    Format.fprintf ppf
-      "batch: off — scalar tuple-at-a-time interpreter (WDPT_ENGINE_BATCH=0)"
-  else begin
-    Format.fprintf ppf
-      "batch: vectorized — %d-row morsel group(s), %d group(s) at the top \
-       level@,"
-      b.I.b_morsel_rows b.I.b_groups;
+  begin
+    if not b.I.b_enabled then
+      Format.fprintf ppf
+        "batch: off — scalar tuple-at-a-time interpreter \
+         (WDPT_ENGINE_BATCH=0); would-be geometry: %d-row morsel group(s), \
+         %d group(s) at the top level@,"
+        b.I.b_morsel_rows b.I.b_groups
+    else
+      Format.fprintf ppf
+        "batch: vectorized — %d-row morsel group(s), %d group(s) at the top \
+         level@,"
+        b.I.b_morsel_rows b.I.b_groups;
     Format.fprintf ppf "  columns:";
     if Array.length b.I.b_columns = 0 then Format.fprintf ppf " none"
     else

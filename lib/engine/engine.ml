@@ -922,6 +922,37 @@ let morsel_rows_flag =
 let set_morsel_rows n = Atomic.set morsel_rows_flag (max 1 (min n morsel_cap))
 let morsel_rows () = Atomic.get morsel_rows_flag
 
+(* High-water marks of the batched pipeline's memory consumers, in the same
+   units the certified resource envelope (Analysis.Resource) is stated in.
+   Each mark is the peak of one slice (column/dense scratch) or one
+   group/chunk (replay buffering) — never a cross-domain sum, so a
+   per-slice envelope can be checked sound against it directly. The
+   counters are bumped once per slice / group, not per row: measurement
+   costs nothing on the hot path. *)
+type batch_stats = {
+  bm_column_words : int;  (* peak columnar scratch words of any one slice *)
+  bm_dense_words : int;   (* peak dense probe-table words of any one slice *)
+  bm_replay_rows : int;   (* peak buffered rows of any one group/chunk *)
+}
+
+let bm_column_words = Atomic.make 0
+let bm_dense_words = Atomic.make 0
+let bm_replay_rows = Atomic.make 0
+
+let rec note_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then note_max cell v
+
+let batch_stats () =
+  { bm_column_words = Atomic.get bm_column_words;
+    bm_dense_words = Atomic.get bm_dense_words;
+    bm_replay_rows = Atomic.get bm_replay_rows }
+
+let reset_batch_stats () =
+  Atomic.set bm_column_words 0;
+  Atomic.set bm_dense_words 0;
+  Atomic.set bm_replay_rows 0
+
 (* one atom of the fixed-order pipeline, with its ops split by the role they
    play over a batch whose earlier stages already bound [bs_cols]'s slots *)
 type bstage = {
@@ -1091,6 +1122,13 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
         end
       end
     done;
+    (* dense footprint of this slice: the two top arrays per built stage
+       (the row arrays alias the counted index, nothing is copied) *)
+    (let dw = ref 0 in
+     for k = 1 to nstages - 1 do
+       if dense_max.(k) >= 0 then dw := !dw + (2 * (dense_max.(k) + 1))
+     done;
+     note_max bm_dense_words !dw);
     (* columnar batch state, rebuilt per morsel group. Every buffer below is
        scratch reused across stages and groups and grown geometrically: the
        steady state of a slice allocates nothing per group. *)
@@ -1124,6 +1162,9 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
     in
     let mask_scratch = ref Bytes.empty in
     let cand_scratch = ref [||] in
+    (* peak words of the composite-key candidate arrays, allocated per
+       stage invocation rather than kept as scratch *)
+    let col_transient = ref 0 in
     let fresh_mask n =
       if Bytes.length !mask_scratch < n then
         mask_scratch := Bytes.create (max n (2 * Bytes.length !mask_scratch));
@@ -1267,6 +1308,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
           let cand_rows = Array.make w [||] in
           let cand_count = Array.make w 0 in
           let perm = Array.make (max 1 !alive) 0 in
+          col_transient := max !col_transient ((2 * w) + max 1 !alive);
           let pj = ref 0 in
           for i = 0 to w - 1 do
             if Bytes.unsafe_get !mask i <> '\000' then begin
@@ -1658,7 +1700,18 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
          done
        with Batch_dead -> ());
       glo := ghi
-    done
+    done;
+    (* columnar footprint of this slice: every scratch buffer is retained
+       across groups, so its capacity at slice end is its peak *)
+    (let words = ref !col_transient in
+     Array.iter (fun (b : int array) -> words := !words + Array.length b) vals;
+     Array.iter (fun (b : int array) -> words := !words + Array.length b) par;
+     Array.iter
+       (fun (b : int array) -> words := !words + Array.length b)
+       pcol_scratch;
+     words := !words + Array.length !cand_scratch;
+     words := !words + ((Bytes.length !mask_scratch + 7) / 8);
+     note_max bm_column_words !words)
   end
 
 (* scalar twin of the batched interpreter: the same fixed stage order, one
@@ -2089,6 +2142,7 @@ let iter_envs_batched_checked_slice p fc ~lo ~hi ~cancel f =
       iter_envs_batched_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel
         (fun env -> buf := Array.copy env :: !buf);
       let batched = Array.of_list (List.rev !buf) in
+      note_max bm_replay_rows (Array.length batched);
       let k = ref 0 in
       iter_envs_fixed_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel (fun env ->
           if !k >= Array.length batched then
@@ -2425,6 +2479,7 @@ module Parallel = struct
                     buf := Array.copy env :: !buf);
                 log i (Chunk_cell i) ~write:true;
                 buffers.(i) <- List.rev !buf;
+                note_max bm_replay_rows (List.length buffers.(i));
                 if inject && nchunks > 1 then begin
                   (* seeded fault: value-neutral store into a peer's cell *)
                   let j = (i + 1) mod nchunks in

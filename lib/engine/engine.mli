@@ -128,6 +128,30 @@ val optimize_enabled : unit -> bool
 val set_batched : bool -> unit
 val batched_enabled : unit -> bool
 
+(** High-water marks of the batched pipeline's memory consumers, in the
+    units the certified resource envelope ({!Analysis.Resource}) is stated
+    in. Each mark is the peak of one slice (column/dense scratch) or of one
+    group/chunk (replay buffering) — never a cross-domain sum — so a
+    per-slice envelope can be checked sound against it directly
+    ([measured <= certified], E021 otherwise). Bumped once per slice or
+    group, never per row. *)
+type batch_stats = {
+  bm_column_words : int;
+      (** peak columnar scratch words (slot columns, parent pointers, probe
+          scratch, survivor mask, candidate arrays) of any one slice *)
+  bm_dense_words : int;
+      (** peak dense probe-table words (the per-stage count/rows top arrays;
+          row arrays alias the counted index) of any one slice *)
+  bm_replay_rows : int;
+      (** peak buffered environment rows of any one checked-mode morsel
+          group or parallel enumeration chunk *)
+}
+
+val batch_stats : unit -> batch_stats
+
+(** Reset all marks to 0 (before a measured run). *)
+val reset_batch_stats : unit -> unit
+
 (** Number of environment slots (distinct variables occurring in the atoms). *)
 val slot_count : t -> int
 

@@ -19,6 +19,7 @@ let () =
          ("parallel", Test_parallel.suite);
          ("par-audit", Test_par_audit.suite);
          ("batch", Test_batch.suite);
+         ("batch-audit", Test_batch_audit.suite);
          ("hypergraph", Test_hypergraph.suite);
          ("cq", Test_cq.suite);
          ("pattern-tree", Test_pattern_tree.suite);
