@@ -181,8 +181,9 @@ let apply_engine_config domains min_rows morsel_rows =
 
 let eval_cmd =
   let run query data maximal relational limit offset domains min_rows
-      morsel_rows max_mem degrade =
+      morsel_rows max_mem degrade adapt =
     apply_engine_config domains min_rows morsel_rows;
+    if adapt then Engine.set_adapt true;
     let p = or_die (load_tree ~relational query) in
     let db = or_die (load_db ~relational data) in
     admission_gate ~budget:max_mem ~degrade db (Wdpt.Pattern_tree.q_full p);
@@ -248,12 +249,21 @@ let eval_cmd =
          & info [ "offset" ] ~docv:"N"
              ~doc:"Skip the first $(docv) answers of the page.")
   in
+  let adapt =
+    Arg.(value & flag
+         & info [ "adapt" ]
+             ~doc:"Enable verified adaptive re-planning for this command \
+                   (same as WDPT_ENGINE_ADAPT=1): after a run whose \
+                   cardinality counters show estimate drift, the plan is \
+                   recalibrated and re-ordered under an independently \
+                   re-verified swap certificate.")
+  in
   Cmd.v
     (Cmd.info "eval"
        ~doc:"Evaluate a well-designed query ({AND,OPT}-SPARQL, or pattern-tree syntax with -r).")
     Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
           $ offset $ domains_arg $ min_rows_arg $ morsel_rows_arg
-          $ max_mem_arg $ degrade_arg)
+          $ max_mem_arg $ degrade_arg $ adapt)
 
 let classify_cmd =
   let run query k relational =
@@ -430,8 +440,9 @@ let race_json report =
 
 let explain_cmd =
   let run query data format relational opt domains min_rows morsel_rows
-      max_mem =
+      max_mem adapt drift =
     apply_engine_config domains min_rows morsel_rows;
+    if adapt then Engine.set_adapt true;
     let lint_ds = lint_source ~relational query in
     let fatal =
       List.exists
@@ -478,7 +489,38 @@ let explain_cmd =
         (fun budget -> Analysis.Resource.admits resource ~budget)
         max_mem
     in
-    let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds @ batch_ds in
+    (* --drift: one counting evaluation over the plan collects the genuine
+       per-atom counters; the feedback view, its audit and (under --adapt /
+       WDPT_ENGINE_ADAPT) the re-plan certificate verdict are reported.
+       E022 findings are warnings, so a drift-y query exits 1, not 2. *)
+    let feedback =
+      if not drift then None
+      else begin
+        ignore (Engine.count_envs plan);
+        let fview = Engine.Inspect.feedback plan in
+        let fds = Analysis.Feedback.audit plan in
+        let swap =
+          if not (Engine.adapt_enabled ()) then None
+          else
+            match Engine.replan plan with
+            | None -> None
+            | Some (swapped, cert) ->
+                let _, sds =
+                  Analysis.Feedback.accept_swap ~before:plan ~after:swapped
+                    cert
+                in
+                Some (cert, sds)
+        in
+        Some (fview, fds, swap)
+      end
+    in
+    let feedback_ds =
+      match feedback with
+      | None -> []
+      | Some (_, fds, swap) ->
+          fds @ (match swap with Some (_, sds) -> sds | None -> [])
+    in
+    let ds = lint_ds @ audit_ds @ equiv_ds @ par_ds @ batch_ds @ feedback_ds in
     let exit_code =
       match admitted with
       | Some false -> exit_admission_reject
@@ -502,6 +544,30 @@ let explain_cmd =
     let cost = Analysis.Cost.analyze db atoms ~free:(Wdpt.Pattern_tree.free p) in
     let partition = Engine.Parallel.decision plan in
     let race = race_report plan in
+    let feedback_json =
+      match feedback with
+      | None -> Analysis.Json.Obj [ ("enabled", Analysis.Json.Bool false) ]
+      | Some (fview, fds, swap) ->
+          Analysis.Json.Obj
+            [ ("enabled", Analysis.Json.Bool true);
+              ("view", Analysis.Feedback.view_json fview);
+              ("audit", Analysis.Diagnostic.report_json fds);
+              ( "swap",
+                match swap with
+                | None ->
+                    Analysis.Json.Obj
+                      [ ("replanned", Analysis.Json.Bool false) ]
+                | Some (cert, sds) ->
+                    Analysis.Json.Obj
+                      [ ("replanned", Analysis.Json.Bool true);
+                        ("verified", Analysis.Json.Bool (sds = []));
+                        ("epoch", Analysis.Json.Int cert.Engine.sw_epoch);
+                        ("runs", Analysis.Json.Int cert.Engine.sw_runs);
+                        ( "drifted-atoms",
+                          Analysis.Json.Int (Array.length cert.Engine.sw_drift)
+                        );
+                        ("audit", Analysis.Diagnostic.report_json sds) ] ) ]
+    in
     let tree_growth = Analysis.Cost.tree_growth p in
     (match format with
     | `Json ->
@@ -523,7 +589,8 @@ let explain_cmd =
         in
         Format.printf "%a@." Analysis.Json.pp
           (Analysis.Json.Obj
-             ([ ("version", Analysis.Json.Int 1);
+             ([ ("schema", Analysis.Json.Int Analysis.Json.schema_version);
+                ("version", Analysis.Json.Int 1);
                 ("plan", Analysis.Plan_audit.view_json view);
                 ("audit", Analysis.Diagnostic.report_json ds) ]
              @ opt_fields
@@ -534,6 +601,7 @@ let explain_cmd =
                  ("batch_audit", Analysis.Diagnostic.report_json batch_ds);
                  ("resource", resource_json);
                  ("race", race_json race);
+                 ("feedback", feedback_json);
                  ("tree", tree_json);
                  ("exit-code", Analysis.Json.Int exit_code) ]))
     | `Text ->
@@ -574,6 +642,25 @@ let explain_cmd =
             Format.printf
               "race sanitizer: on — %d region(s), %d event(s), %d race(s): %s@."
               regions events races verdict);
+        (match feedback with
+        | None -> ()
+        | Some (fview, fds, swap) ->
+            Format.printf "@[<v>%a@]@." Analysis.Feedback.pp_view fview;
+            Format.printf "@[<v>%a@]@." Analysis.Feedback.pp_report fds;
+            (match swap with
+            | None ->
+                Format.printf
+                  "adaptive: no re-plan (%s)@."
+                  (if Engine.adapt_enabled () then
+                     "drift below threshold or insufficient evidence"
+                   else "adapt off — use --adapt or WDPT_ENGINE_ADAPT=1")
+            | Some (cert, sds) ->
+                Format.printf
+                  "adaptive: re-planned at epoch %d over %d run(s), %d \
+                   drifted atom(s) — certificate %s@."
+                  cert.Engine.sw_epoch cert.Engine.sw_runs
+                  (Array.length cert.Engine.sw_drift)
+                  (if sds = [] then "verified" else "REJECTED (E025)")));
         Format.printf "tree: %a%s@." Analysis.Cost.pp_growth tree_growth
           (match Analysis.Cost.tree_class p with
           | Some (k, c) ->
@@ -595,6 +682,25 @@ let explain_cmd =
                    the pass trail plus the dataflow summary of the optimized \
                    plan.")
   in
+  let adapt_arg =
+    Arg.(value & flag
+         & info [ "adapt" ]
+             ~doc:"Enable verified adaptive re-planning for this command \
+                   (same as WDPT_ENGINE_ADAPT=1). With $(b,--drift), a \
+                   confirmed estimate drift re-plans the query and the swap \
+                   certificate is independently re-verified by the feedback \
+                   auditor (a rejected certificate is E025).")
+  in
+  let drift_arg =
+    Arg.(value & flag
+         & info [ "drift" ]
+             ~doc:"Run one counting evaluation over the plan to collect \
+                   per-atom cardinality feedback, then print the \
+                   estimate-vs-actual selectivity table and the feedback \
+                   audit verdict (E022-E026); in JSON the report lands under \
+                   the schema-stable $(b,feedback) key. Estimate-drift \
+                   findings (E022) are warnings: exit 1, not 2.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Compile the query and print the engine plan, the static audit \
@@ -606,12 +712,15 @@ let explain_cmd =
              columnar layout, morsel geometry) and, when WDPT_ENGINE_TSAN=1, \
              runs the data-race sanitizer over one parallel count. Also \
              audits the batched layout (E017-E020) and certifies a resource \
-             envelope for admission control ($(b,--max-mem)). Exit codes \
+             envelope for admission control ($(b,--max-mem)). With \
+             $(b,--drift), collects runtime cardinality feedback and audits \
+             it (E022-E026); with $(b,--adapt) a confirmed drift re-plans \
+             under an independently verified certificate. Exit codes \
              match $(b,lint): 0 = clean, 1 = warnings, 2 = errors; 3 = \
              rejected by $(b,--max-mem).")
     Term.(const run $ query_arg $ data_opt $ format_arg $ relational_arg
           $ opt_arg $ domains_arg $ min_rows_arg $ morsel_rows_arg
-          $ max_mem_arg)
+          $ max_mem_arg $ adapt_arg $ drift_arg)
 
 let check_cmd =
   let run query relational =

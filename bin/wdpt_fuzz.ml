@@ -9,8 +9,10 @@
           wdpt_fuzz --race-diff [COUNT] [SEED]
           wdpt_fuzz --batch-diff [COUNT] [SEED]
           wdpt_fuzz --batch-audit-diff [COUNT] [SEED]
+          wdpt_fuzz --drift-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
+   An unknown --MODE flag is an error: usage on stderr, exit 2.
 
    --opt-diff COUNT runs the optimizer differential instead: on COUNT
    (default 500) random instances it evaluates once with the engine's
@@ -44,6 +46,16 @@
    batched pipeline runs atoms in the fixed static order while the scalar
    path re-selects per node). A small random morsel size forces group
    boundaries through even tiny draws.
+
+   --drift-diff COUNT runs the adaptive re-planning differential (default
+   300): on COUNT random instances it evaluates with adaptation off and
+   then twice with it on (the first adaptive pass collects counters and may
+   install a calibration, the second serves the re-planned plan) — the
+   answer sets must be identical in all passes at both semantics levels;
+   any cached swap certificate must independently re-verify through
+   Analysis.Feedback (zero E025); the genuine feedback view of an executed
+   plan must audit clean (zero E022-E026); and a seeded drift injection
+   into a corrupted copy of the view must be caught as E022.
 
    --batch-audit-diff COUNT runs the batch-pipeline auditor differential
    (default 300): on COUNT random instances the genuine batched layout must
@@ -451,6 +463,104 @@ let batch_audit_diff_main count seed0 =
     count seed0 !skipped !bad;
   exit (if !bad = 0 then 0 else 1)
 
+(* ---- adaptive re-planning differential ----------------------------------- *)
+
+(* One instance of the --drift-diff mode; see the header comment. *)
+let check_drift_diff p db =
+  let module I = Engine.Inspect in
+  let module D = Analysis.Diagnostic in
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let codes ds = String.concat "+" (List.map (fun d -> D.code_id d.D.code) ds) in
+  let with_adapt b f =
+    let prev = Engine.adapt_enabled () in
+    Engine.set_adapt b;
+    Fun.protect ~finally:(fun () -> Engine.set_adapt prev) f
+  in
+  let q = Wdpt.Pattern_tree.q_full p in
+  let atoms = Cq.Query.body q in
+  let static_wdpt = with_adapt false (fun () -> Wdpt.Semantics.eval db p) in
+  let static_cq = with_adapt false (fun () -> Cq.Eval.answers db q) in
+  with_adapt true (fun () ->
+      (* pass 1 collects counters (and may install a calibration); pass 2
+         serves the re-planned plan — answers must never change *)
+      for pass = 1 to 2 do
+        if not (Mapping.Set.equal (Wdpt.Semantics.eval db p) static_wdpt) then
+          fail (Printf.sprintf "wdpt-eval-adaptive-pass-%d" pass);
+        if not (Mapping.Set.equal (Cq.Eval.answers db q) static_cq) then
+          fail (Printf.sprintf "cq-eval-adaptive-pass-%d" pass)
+      done);
+  let adapted =
+    with_adapt true (fun () -> Engine.compile db atoms ~init:Mapping.empty)
+  in
+  (* any calibration the adaptive passes installed must carry a certificate
+     that re-verifies from the uncalibrated before-plan *)
+  (match Engine.cached_swap adapted with
+  | None -> ()
+  | Some cert ->
+      let before =
+        with_adapt false (fun () -> Engine.compile db atoms ~init:Mapping.empty)
+      in
+      (match
+         Analysis.Feedback.verify_swap ~before:(I.plan before)
+           ~after:(I.plan adapted) cert
+       with
+      | [] -> ()
+      | ds -> fail ("swap-cert-" ^ codes ds)));
+  (* a genuine feedback view audits clean... *)
+  ignore (with_adapt false (fun () -> Engine.count_envs adapted));
+  (match Analysis.Feedback.audit adapted with
+  | [] -> ()
+  | ds -> fail ("genuine-view-" ^ codes ds));
+  (* ...and a seeded drift injection into a corrupted copy is caught *)
+  let v = I.feedback adapted in
+  if Array.length v.I.f_atoms > 0 then begin
+    let fa = v.I.f_atoms.(0) in
+    let est = fa.I.f_score +. fa.I.f_calib in
+    let surv =
+      int_of_float (Float.min 1e8 (10. ** (est +. v.I.f_threshold +. 2.))) + 10
+    in
+    let atoms' = Array.copy v.I.f_atoms in
+    atoms'.(0) <-
+      { fa with
+        I.f_contexts = 1;
+        f_probed = max surv v.I.f_min_probed;
+        f_survived = surv };
+    let corrupt = { v with I.f_atoms = atoms'; f_runs = max 1 v.I.f_runs } in
+    let ds = Analysis.Feedback.audit_view corrupt in
+    if not (List.exists (fun d -> d.D.code = D.Drift) ds) then
+      fail "drift-injection-not-caught"
+  end;
+  !failures
+
+let drift_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (opt_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      match check_drift_diff p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "drift-diff: %d instance(s) from seed %d (%d oversized skipped): %d \
+     failure(s)\n"
+    count seed0 !skipped !bad;
+  (* machine-readable summary, same schema version as the analysis JSON *)
+  Printf.printf
+    "{\"schema\": %d, \"mode\": \"drift-diff\", \"instances\": %d, \
+     \"seed\": %d, \"skipped\": %d, \"failures\": %d}\n"
+    Analysis.Json.schema_version count seed0 !skipped !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 let race_diff_main count seed0 =
   let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
   let seed = ref seed0 in
@@ -574,6 +684,35 @@ let () =
       if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
     in
     race_diff_main count seed0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--drift-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    drift_diff_main count seed0
+  end;
+  (* any other --flag is a mode we do not have: usage, exit 2 (a typo'd
+     mode silently falling through to the time-based fuzzer would report
+     green without running the intended differential) *)
+  if
+    Array.length Sys.argv > 1
+    && String.length Sys.argv.(1) >= 2
+    && String.sub Sys.argv.(1) 0 2 = "--"
+  then begin
+    Printf.eprintf
+      "wdpt_fuzz: unknown mode %s\n\
+       usage: wdpt_fuzz [SECONDS] [SEED]\n\
+      \       wdpt_fuzz --opt-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --par-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --race-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --batch-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --batch-audit-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --drift-diff [COUNT] [SEED]\n"
+      Sys.argv.(1);
+    exit 2
   end;
   let seconds =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0

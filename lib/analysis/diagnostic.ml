@@ -33,6 +33,11 @@ type code =
   | Position_cover
   | Filter_binds
   | Resource_envelope
+  | Drift
+  | Counter_coverage
+  | Stale_epoch
+  | Unjustified_replan
+  | Collector_inconsistent
 
 let code_id = function
   | Parse_error -> "S001"
@@ -64,6 +69,11 @@ let code_id = function
   | Position_cover -> "E019"
   | Filter_binds -> "E020"
   | Resource_envelope -> "E021"
+  | Drift -> "E022"
+  | Counter_coverage -> "E023"
+  | Stale_epoch -> "E024"
+  | Unjustified_replan -> "E025"
+  | Collector_inconsistent -> "E026"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -95,6 +105,11 @@ let code_name = function
   | Position_cover -> "incomplete-position-cover"
   | Filter_binds -> "filter-stage-binds"
   | Resource_envelope -> "unsound-resource-envelope"
+  | Drift -> "estimate-drift"
+  | Counter_coverage -> "counter-coverage"
+  | Stale_epoch -> "stale-stats-epoch"
+  | Unjustified_replan -> "unjustified-replan"
+  | Collector_inconsistent -> "inconsistent-collector"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -108,6 +123,12 @@ let code_severity = function
       Error
   | Stage_read_before_bind | Column_aliasing | Position_cover | Filter_binds
   | Resource_envelope ->
+      Error
+  (* drift is evidence the estimates were off, not that anything computed a
+     wrong answer — the other four mean the feedback loop itself is broken *)
+  | Drift -> Warning
+  | Counter_coverage | Stale_epoch | Unjustified_replan
+  | Collector_inconsistent ->
       Error
 
 type witness =
@@ -172,6 +193,24 @@ type witness =
   | Cover of { stage : int; atom : int; arity : int; covered : int; missing : int }
   | Filter_bind of { stage : int; atom : int; binds : int; streamed : bool }
   | Envelope of { component : string; certified : int; measured : int }
+  | Drifted of {
+      atom : int;
+      estimated : float;  (* calibrated log10 selectivity estimate *)
+      observed : float;  (* log10 (survived / contexts) *)
+      threshold : float;
+      contexts : int;
+      probed : int;
+      survived : int;
+    }
+  | Counter_of of { atom : int; detail : string }
+  | Epoch of { costed : int; store : int; live : int }
+  | Replan_of of { field : string; detail : string }
+  | Collector_of of {
+      atom : int;
+      survived : int;
+      runs : int;
+      bound : float;  (* sound log10 ceiling on survivors *)
+    }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -400,6 +439,33 @@ let witness_json w =
         [ ("component", Str component);
           ("certified", Int certified);
           ("measured", Int measured) ]
+  | Drifted { atom; estimated; observed; threshold; contexts; probed; survived }
+    ->
+      kind "estimate-drift"
+        [ ("atom", Int atom);
+          ("estimated", Float estimated);
+          ("observed", Float observed);
+          ("threshold", Float threshold);
+          ("contexts", Int contexts);
+          ("probed", Int probed);
+          ("survived", Int survived) ]
+  | Counter_of { atom; detail } ->
+      kind "counter-coverage"
+        [ ("atom", if atom < 0 then Json.Null else Int atom);
+          ("detail", Str detail) ]
+  | Epoch { costed; store; live } ->
+      kind "stale-stats-epoch"
+        [ ("costed-at", Int costed);
+          ("store-version", Int store);
+          ("live-version", Int live) ]
+  | Replan_of { field; detail } ->
+      kind "unjustified-replan" [ ("field", Str field); ("detail", Str detail) ]
+  | Collector_of { atom; survived; runs; bound } ->
+      kind "inconsistent-collector"
+        [ ("atom", Int atom);
+          ("survived", Int survived);
+          ("runs", Int runs);
+          ("log10-bound", Float bound) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in
@@ -423,7 +489,8 @@ let to_json d =
 
 let report_json ds =
   Json.Obj
-    [ ("version", Int 1);
+    [ ("schema", Int Json.schema_version);
+      ("version", Int 1);
       ("diagnostics", List (List.map to_json ds));
       ( "summary",
         Obj

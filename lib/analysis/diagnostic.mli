@@ -98,7 +98,31 @@
       later consumer reads as a materialized column (error);
     - [E021 unsound-resource-envelope] — a certified peak-memory envelope
       component ({!Resource}) smaller than a measured high-water mark, i.e.
-      the admission-control bound under-promised (error). *)
+      the admission-control bound under-promised (error).
+
+    The E022–E026 codes are findings of the cardinality-feedback auditor
+    ({!Feedback}) over the runtime counter view
+    ({!Engine.Inspect.feedback_view}) and adaptive swap certificates
+    ({!Engine.swap_cert}):
+
+    - [E022 estimate-drift] — an atom's observed log10 selectivity exceeds
+      its calibrated estimate by more than the configured threshold
+      (warning: the estimates were off, nothing computed wrongly);
+    - [E023 counter-coverage] — the counter vector does not cover the
+      plan's instruction list, or the counters are internally impossible
+      (negative, or more survivors than probes) (error);
+    - [E024 stale-stats-epoch] — a plan served under a stats epoch newer
+      than the one its calibration was costed against: the feedback that
+      justified its order no longer describes the store (error; extends the
+      E006 three-way version story to the feedback cache);
+    - [E025 unjustified-replan] — an adaptive plan-swap certificate that
+      does not re-verify: the calibration does not recompute from the
+      drift evidence, the drift evidence is below threshold, or the
+      re-sorted order does not follow the calibrated key (error; the
+      engine keeps the old plan);
+    - [E026 inconsistent-collector] — an observed survivor count exceeding
+      the sound per-run ceiling (runs × the stored relation rows reachable
+      per context), i.e. the collector itself is broken (error). *)
 
 open Relational
 
@@ -134,6 +158,11 @@ type code =
   | Position_cover  (** E019 *)
   | Filter_binds  (** E020 *)
   | Resource_envelope  (** E021 *)
+  | Drift  (** E022 *)
+  | Counter_coverage  (** E023 *)
+  | Stale_epoch  (** E024 *)
+  | Unjustified_replan  (** E025 *)
+  | Collector_inconsistent  (** E026 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -304,6 +333,31 @@ type witness =
       certified : int;  (** the envelope's claimed bound *)
       measured : int;  (** the high-water mark that exceeded it *)
     }  (** E021 *)
+  | Drifted of {
+      atom : int;  (** plan atom index *)
+      estimated : float;  (** calibrated log10 selectivity estimate *)
+      observed : float;  (** log10 (survived / contexts) *)
+      threshold : float;  (** the threshold in force at audit time *)
+      contexts : int;
+      probed : int;
+      survived : int;
+    }  (** E022 *)
+  | Counter_of of {
+      atom : int;  (** offending atom index, [-1] = the vector itself *)
+      detail : string;
+    }  (** E023 *)
+  | Epoch of {
+      costed : int;  (** stats epoch the calibration was costed at *)
+      store : int;  (** compiled store version actually serving the plan *)
+      live : int;  (** live database version *)
+    }  (** E024 *)
+  | Replan_of of { field : string; detail : string }  (** E025 *)
+  | Collector_of of {
+      atom : int;
+      survived : int;  (** the impossible observed count *)
+      runs : int;
+      bound : float;  (** sound log10 ceiling on survivors *)
+    }  (** E026 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

@@ -457,10 +457,16 @@ let check_order pass ~(before : I.view) ~(after : I.view) (c : Engine.cert)
       expect (g @ ng) "not the stable ground-first partition of the prior order"
     end
     else begin
-      (* a full reorder must leave the (ground, selectivity) invariant *)
+      (* a full reorder must leave the (ground, selectivity) invariant —
+         with the feedback calibration folded into the score component, so
+         an adapted plan's reorder pass verifies against the same calibrated
+         key the compiler sorted by (zero on fresh plans) *)
       let key ai =
         let av = after.i_atoms.(ai) in
-        Engine.order_key ~rows:av.I.a_rows ~dcounts:av.I.a_dcounts av.I.a_ops
+        let g, s =
+          Engine.order_key ~rows:av.I.a_rows ~dcounts:av.I.a_dcounts av.I.a_ops
+        in
+        (g, s +. av.I.a_calib)
       in
       for k = 0 to n - 2 do
         if compare (key order.(k)) (key (order.(k + 1))) > 0 then

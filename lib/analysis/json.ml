@@ -7,6 +7,11 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(* One number for the whole machine-readable surface (lint/explain/fuzz
+   reports): bump it when an existing key changes meaning or goes away;
+   additive keys do not bump it. Tests lock the current value. *)
+let schema_version = 1
+
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter

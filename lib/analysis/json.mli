@@ -17,3 +17,9 @@ type t =
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** Version of the whole machine-readable JSON surface — every top-level
+    emitter ([lint]/[explain]/fuzz reports) carries it as a ["schema"] key.
+    Bumped when an existing key changes meaning or is removed; purely
+    additive keys do not bump it. *)
+val schema_version : int

@@ -50,11 +50,19 @@ module Db = struct
   type plan_store = ..
   type plan_store += No_plans
 
+  (* learned calibrations are cached separately from plan cores: unlike
+     cores they are NOT discarded on [extend] — each entry carries the
+     stats epoch it was learned at and is lazily evicted when looked up
+     under a newer epoch (the E024 discipline) *)
+  type adapt_store = ..
+  type adapt_store += No_adapts
+
   type t = {
     pool : Value.t Interner.t;
     rels : (string * int, rel) Hashtbl.t;  (* keyed by (name, arity) *)
     mutable db_version : int;
     mutable plans : plan_store;
+    mutable adapts : adapt_store;
   }
 
   let find_rel c name arity = Hashtbl.find_opt c.rels (name, arity)
@@ -133,7 +141,8 @@ module Db = struct
       { pool = Interner.create ~capacity:256 ();
         rels = Hashtbl.create 16;
         db_version = 0;
-        plans = No_plans }
+        plans = No_plans;
+        adapts = No_adapts }
     in
     extend c db;
     c
@@ -240,6 +249,36 @@ type core = {
   c_feasible : bool;
 }
 
+(* Per-atom runtime cardinality counters. A [context] is one entry into an
+   atom's candidate loop (one partial environment the atom was probed
+   under), [probed] counts the candidate rows the loop considered, and
+   [survived] the rows that passed every check. Counters are plain ints:
+   each interpreter slice owns its private record and parallel regions
+   merge chunk-local records at the join, so no counter is ever shared
+   between domains (the PR 6 race discipline). *)
+type fb = {
+  fb_contexts : int array;   (* per atom: probe contexts entered *)
+  fb_probed : int array;     (* per atom: candidate rows considered *)
+  fb_survived : int array;   (* per atom: rows passing every check *)
+  mutable fb_runs : int;     (* completed top-level enumerations *)
+}
+
+let fb_create n =
+  let n = max 1 n in
+  { fb_contexts = Array.make n 0;
+    fb_probed = Array.make n 0;
+    fb_survived = Array.make n 0;
+    fb_runs = 0 }
+
+let fb_add dst src =
+  let n = Array.length dst.fb_contexts in
+  for i = 0 to min n (Array.length src.fb_contexts) - 1 do
+    dst.fb_contexts.(i) <- dst.fb_contexts.(i) + src.fb_contexts.(i);
+    dst.fb_probed.(i) <- dst.fb_probed.(i) + src.fb_probed.(i);
+    dst.fb_survived.(i) <- dst.fb_survived.(i) + src.fb_survived.(i)
+  done;
+  dst.fb_runs <- dst.fb_runs + src.fb_runs
+
 type t = {
   cdb : Db.t;
   vars : string Interner.t;  (* variable name <-> slot *)
@@ -252,6 +291,11 @@ type t = {
   src_db : Database.t;       (* the database the plan was compiled against *)
   compiled_at : int;         (* database version at compile time; the cdb may
                                 since have been incrementally extended *)
+  calib : float array;       (* per-atom log10 selectivity adjustment learned
+                                from observed counters; zero on fresh plans *)
+  costed_at : int;           (* stats epoch the calibration was costed
+                                against (= compiled_at when uncalibrated) *)
+  mutable feedback : fb option;  (* accumulated counters of completed runs *)
   provenance : provenance;
 }
 
@@ -262,6 +306,15 @@ type t = {
 and provenance =
   | Compiled
   | Optimized of { stages : (t * cert) list }
+
+(* calibrated selectivity: the static score shifted by the plan's learned
+   per-atom log10 adjustment. Zero on fresh plans, so every calibrated key
+   below degenerates to the static one unless adaptation applied. *)
+let calib_of (p : t) i = if i < Array.length p.calib then p.calib.(i) else 0.
+let calibrated_score (p : t) i = atom_score p.atoms.(i) +. calib_of p i
+
+let calibrated_key (p : t) i =
+  ((if ground p.atoms.(i).a_ops then 0 else 1), calibrated_score p i)
 
 type plan_tbl = {
   p_tbl : (Atom.t list, core) Hashtbl.t;
@@ -366,9 +419,10 @@ let compile_base db atom_list ~init =
                  that occurs in no fact *)
               feasible := false))
     (Mapping.bindings init);
+  let atoms = if !feasible then core.c_atoms else [||] in
   { cdb;
     vars = core.c_vars;
-    atoms = (if !feasible then core.c_atoms else [||]);
+    atoms;
     order = (if !feasible then core.c_order else [||]);
     init_env;
     feasible = !feasible;
@@ -376,6 +430,9 @@ let compile_base db atom_list ~init =
     src_atoms = atom_list;
     src_db = db;
     compiled_at = cdb.Db.db_version;
+    calib = Array.make (max 1 (Array.length atoms)) 0.;
+    costed_at = cdb.Db.db_version;
+    feedback = None;
     provenance = Compiled }
 
 (* ------------------------------------------------------------------ *)
@@ -525,7 +582,11 @@ let pass_dead_instruction (p : t) =
     in
     let src = Array.of_list p.src_atoms in
     let src_atoms = Array.to_list (Array.map (fun i -> src.(i)) kept) in
-    let p' = { p with atoms; order; src_atoms } in
+    let calib =
+      if Array.length kept = 0 then [| 0. |]
+      else Array.map (fun i -> calib_of p i) kept
+    in
+    let p' = { p with atoms; order; src_atoms; calib } in
     let cert =
       { (identity_cert "dead-instruction" p') with
         cert_atom_map = atom_map;
@@ -593,10 +654,12 @@ let pass_hoist (p : t) =
   (p', { (identity_cert "check-hoist" p') with cert_reorders = true })
 
 (* selectivity-aware reordering: re-establish the full static-order invariant
-   (ground first, ascending selectivity) that constant folding broke by
-   turning Slot instructions into Checks *)
+   (ground first, ascending calibrated selectivity) that constant folding
+   broke by turning Slot instructions into Checks. The key includes the
+   plan's learned calibration so adapted plans keep their observed order
+   through the pass pipeline (zero calibration = the static key). *)
 let pass_reorder (p : t) =
-  let key ai = atom_key p.atoms.(ai) in
+  let key ai = calibrated_key p ai in
   let order =
     Array.of_list
       (List.stable_sort
@@ -639,8 +702,164 @@ let optimize p =
         { q with provenance = Optimized { stages = List.rev !stages } }
       end
 
+(* ------------------------------------------------------------------ *)
+(* Verified adaptive re-planning                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Adaptation recalibrates the static selectivity scores from the observed
+   per-atom counters and re-sorts the static order for the NEXT compile of
+   the same atom list. Every swap emits a plain-data certificate that
+   Analysis.Feedback independently re-verifies (E025): nothing the loop
+   learns is trusted. Gated by WDPT_ENGINE_ADAPT / --adapt. *)
+
+let adapt_flag =
+  Atomic.make
+    (match Sys.getenv_opt "WDPT_ENGINE_ADAPT" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_adapt b = Atomic.set adapt_flag b
+let adapt_enabled () = Atomic.get adapt_flag
+
+(* drift beyond this many log10 decades between the calibrated estimate and
+   the observed per-context survival triggers re-calibration (and E022) *)
+let drift_threshold_flag = Atomic.make 2.0
+
+let set_drift_threshold t =
+  Atomic.set drift_threshold_flag (Float.max 0.1 t)
+
+let drift_threshold () = Atomic.get drift_threshold_flag
+
+(* below this many probed rows the evidence is too thin to act on *)
+let drift_min_probed_flag = Atomic.make 64
+let set_drift_min_probed n = Atomic.set drift_min_probed_flag (max 1 n)
+let drift_min_probed () = Atomic.get drift_min_probed_flag
+
+(* certificate of one plan swap: enough to recompute the calibration and
+   the re-sorted order from the before-plan and re-verify both *)
+type swap_cert = {
+  sw_epoch : int;     (* stats epoch (store version) the swap was costed at *)
+  sw_runs : int;      (* completed runs the evidence covers *)
+  sw_drift : (int * float * float) array;
+      (* (atom, calibrated estimate, observed log10 selectivity) per
+         drifted atom — the E022-level evidence justifying the swap *)
+  sw_calib : float array;  (* full per-atom calibration after the swap *)
+}
+
+(* [replan p]: inspect the accumulated counters; on E022-level drift return
+   the recalibrated plan and its certificate. The drift baseline is the
+   CALIBRATED score, so a well-calibrated plan observes obs ≈ est and never
+   re-triggers on its own evidence. One-sided: only underestimates (more
+   survivors than predicted) force a swap — overestimates only make the
+   static order conservative. *)
+let replan (p : t) =
+  match p.feedback with
+  | None -> None
+  | Some fb ->
+      let n = Array.length p.atoms in
+      if n = 0 || not p.feasible then None
+      else begin
+        let threshold = drift_threshold () in
+        let min_probed = drift_min_probed () in
+        let drifts = ref [] in
+        for i = n - 1 downto 0 do
+          let c = fb.fb_contexts.(i) and s = fb.fb_survived.(i) in
+          if c > 0 && fb.fb_probed.(i) >= min_probed && s > 0 then begin
+            let obs = log10 (float_of_int s /. float_of_int c) in
+            let est = calibrated_score p i in
+            if obs -. est > threshold then drifts := (i, est, obs) :: !drifts
+          end
+        done;
+        match !drifts with
+        | [] -> None
+        | ds ->
+            let calib = Array.copy p.calib in
+            List.iter
+              (fun (i, est, obs) -> calib.(i) <- calib.(i) +. (obs -. est))
+              ds;
+            let p1 = { p with calib } in
+            let key ai = calibrated_key p1 ai in
+            let order =
+              Array.of_list
+                (List.stable_sort
+                   (fun a b -> compare (key a) (key b))
+                   (Array.to_list p.order))
+            in
+            let p' =
+              { p1 with
+                order;
+                costed_at = p.cdb.Db.db_version;
+                feedback = None }
+            in
+            let cert =
+              { sw_epoch = p.cdb.Db.db_version;
+                sw_runs = fb.fb_runs;
+                sw_drift = Array.of_list ds;
+                sw_calib = calib }
+            in
+            Some (p', cert)
+      end
+
+(* the stats-epoch-keyed calibration cache, living on the compiled database
+   beside the plan cores but with a different lifetime: Db.extend discards
+   cores eagerly but leaves these entries to be epoch-evicted at lookup *)
+type adapt_entry = {
+  ad_epoch : int;          (* store version the calibration was costed at *)
+  ad_calib : float array;
+  ad_cert : swap_cert;     (* the justifying swap, re-verifiable by audit *)
+}
+
+type Db.adapt_store += Adapts of (Atom.t list, adapt_entry) Hashtbl.t
+
+let adapt_tbl (cdb : Db.t) =
+  match cdb.Db.adapts with
+  | Adapts t -> t
+  | _ ->
+      let t = Hashtbl.create 16 in
+      cdb.Db.adapts <- Adapts t;
+      t
+
+let store_adapt (p : t) cert =
+  let t = adapt_tbl p.cdb in
+  if Hashtbl.length t > 4096 then Hashtbl.reset t;
+  Hashtbl.replace t p.src_atoms
+    { ad_epoch = cert.sw_epoch; ad_calib = cert.sw_calib; ad_cert = cert }
+
+let find_adapt (p : t) = Hashtbl.find_opt (adapt_tbl p.cdb) p.src_atoms
+let cached_swap (p : t) = Option.map (fun e -> e.ad_cert) (find_adapt p)
+
+(* apply a cached calibration to a freshly compiled plan. An entry learned
+   under an older stats epoch than the store now carries is stale (the
+   E024 shape): it is evicted and the plan compiles uncalibrated. *)
+let apply_adapt (p : t) =
+  if not (Atomic.get adapt_flag) then p
+  else
+    match find_adapt p with
+    | None -> p
+    | Some e ->
+        if
+          e.ad_epoch <> p.cdb.Db.db_version
+          || Array.length e.ad_calib <> max 1 (Array.length p.atoms)
+          || not p.feasible
+        then begin
+          Hashtbl.remove (adapt_tbl p.cdb) p.src_atoms;
+          p
+        end
+        else begin
+          let p1 = { p with calib = e.ad_calib; costed_at = e.ad_epoch } in
+          let key ai = calibrated_key p1 ai in
+          let order =
+            Array.of_list
+              (List.stable_sort
+                 (fun a b -> compare (key a) (key b))
+                 (Array.to_list p1.order))
+          in
+          { p1 with order }
+        end
+
 let compile db atom_list ~init =
   let p = compile_base db atom_list ~init in
+  let p = apply_adapt p in
   if Atomic.get optimize_flag then optimize p else p
 
 let slot_count p = Interner.size p.vars
@@ -711,14 +930,36 @@ let select_first p =
 
 let no_cancel () = false
 
+(* Commit one completed (uncancelled) enumeration's counters into the plan:
+   the top-level atom gets its single probe context (one per run, never per
+   chunk — parallel chunks slice ONE top-level candidate loop), the record
+   is folded into the plan's accumulator, and under adaptation the evidence
+   is re-examined for E022-level drift. Runs on the coordinating domain
+   only, after any region join. *)
+let fb_commit p fc fb =
+  let top = p.order.(fc.fc_pos) in
+  if top >= 0 && top < Array.length fb.fb_contexts then
+    fb.fb_contexts.(top) <- fb.fb_contexts.(top) + 1;
+  fb.fb_runs <- fb.fb_runs + 1;
+  (match p.feedback with
+  | Some dst -> fb_add dst fb
+  | None -> p.feedback <- Some fb);
+  if Atomic.get adapt_flag then
+    match replan p with
+    | None -> ()
+    | Some (_, cert) -> store_adapt p cert
+
 (* [iter_envs_fast_slice p fc ~lo ~hi ~cancel f]: the matching loop, restricted
    to candidates [lo, hi) of the top-level choice [fc]. [cancel] is polled
    between top-level candidates (a peer found a witness). The full sequential
    enumeration is the [0, fc_count) slice. *)
-let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
+let iter_envs_fast_slice p fc ~lo ~hi ~cancel ~fb f =
   if p.feasible && Array.length p.atoms > 0 then begin
     let env = Array.copy p.init_env in
     let n = Array.length p.atoms in
+    let fb_c = fb.fb_contexts
+    and fb_p = fb.fb_probed
+    and fb_s = fb.fb_survived in
     begin
       let remaining = Array.copy p.order in
       (* a slot is written at most once per search path, so one trail of
@@ -814,11 +1055,14 @@ let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
           remaining.(k - 1) <- ai;
           let ap = p.atoms.(ai) in
           let ops = ap.a_ops and tuples = ap.a_rel.Db.tuples in
+          fb_c.(ai) <- fb_c.(ai) + 1;
+          fb_p.(ai) <- fb_p.(ai) + !bcost;
           if !bscan then
             (* candidate counts are live prefixes: bcost rows, not capacity *)
             for ti = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ops tuples.(ti) then begin
+                fb_s.(ai) <- fb_s.(ai) + 1;
                 go (k - 1);
                 undo_to mark
               end
@@ -828,6 +1072,7 @@ let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
             for ri = 0 to !bcost - 1 do
               let mark = !sp in
               if match_tuple ops tuples.(rows.(ri)) then begin
+                fb_s.(ai) <- fb_s.(ai) + 1;
                 go (k - 1);
                 undo_to mark
               end
@@ -838,7 +1083,9 @@ let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
         end
       in
       (* top level: the pre-computed first choice, restricted to [lo, hi) —
-         identical to what [go n] would have selected and iterated *)
+         identical to what [go n] would have selected and iterated. The top
+         atom's single probe context is credited at commit time (once per
+         run), not here: a chunked region slices this very loop. *)
       let ai = remaining.(fc.fc_pos) in
       remaining.(fc.fc_pos) <- remaining.(n - 1);
       remaining.(n - 1) <- ai;
@@ -848,7 +1095,9 @@ let iter_envs_fast_slice p fc ~lo ~hi ~cancel f =
       while !i < hi && not (cancel ()) do
         let ti = if fc.fc_scan then !i else fc.fc_rows.(!i) in
         let mark = !sp in
+        fb_p.(ai) <- fb_p.(ai) + 1;
         if match_tuple ops tuples.(ti) then begin
+          fb_s.(ai) <- fb_s.(ai) + 1;
           go (n - 1);
           undo_to mark
         end;
@@ -866,7 +1115,10 @@ let iter_envs_fast p f =
       match select_first p with
       | None -> ()
       | Some fc ->
-          iter_envs_fast_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
+          let fb = fb_create (Array.length p.atoms) in
+          iter_envs_fast_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel ~fb
+            f;
+          fb_commit p fc fb
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1047,8 +1299,11 @@ let batch_stages p fc =
 
 exception Batch_dead
 
-let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
+let iter_envs_batched_slice p fc ~lo ~hi ~cancel ~fb f =
   if p.feasible && Array.length p.atoms > 0 && lo < hi then begin
+    let fb_c = fb.fb_contexts
+    and fb_p = fb.fb_probed
+    and fb_s = fb.fb_survived in
     let stages = Array.of_list (batch_stages p fc) in
     let nstages = Array.length stages in
     let nslots = max 1 (Array.length p.init_env) in
@@ -1393,7 +1648,15 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
          verification disappears entirely: filters reduce to a count check
          and expansions blit the cell. *)
       let pure_join = ncols = 1 && nchecks = 0 && ndups = 0 && !best_const < 0 in
+      (* counter discipline: every count below is a per-live-row property
+         (rows entering, candidates per row, rows/matches surviving), so
+         sums over any grouping or chunking of the candidate range are
+         identical — the merge-equality the feedback auditor relies on *)
+      let sa = st.bs_atom in
+      let alive_in = !alive in
+      fb_c.(sa) <- fb_c.(sa) + alive_in;
       if st.bs_filter then begin
+        fb_p.(sa) <- fb_p.(sa) + alive_in;
         (* narrowing stage: checks mutate the survivor mask in place. With
            no bound column the verdict is batch-invariant. *)
         if ncols = 0 then begin
@@ -1408,7 +1671,8 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                end
              done
            with Exit -> ());
-          if not !hit then raise Batch_dead
+          if not !hit then raise Batch_dead;
+          fb_s.(sa) <- fb_s.(sa) + alive_in
         end
         else if pure_join then begin
           (* survival is exactly "the probed cell is non-empty" *)
@@ -1419,6 +1683,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
               if !memo_count = 0 then kill i
             end
           done;
+          fb_s.(sa) <- fb_s.(sa) + !alive;
           if !alive = 0 then raise Batch_dead
         end
         else begin
@@ -1444,6 +1709,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
               if not !hit then kill i
             end
           done;
+          fb_s.(sa) <- fb_s.(sa) + !alive;
           if !alive = 0 then raise Batch_dead
         end
       end
@@ -1469,6 +1735,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
               end
               else (cand_count.(i), cand_rows.(i))
             in
+            fb_p.(sa) <- fb_p.(sa) + n;
             if n > 0 then begin
               (* levels below the current one change only when the parent
                  row does — consecutive rows blitted from one parent share
@@ -1495,7 +1762,8 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                 let s = Array.unsafe_get ss_l q in
                 env.(s) <- vals.(s).(i)
               done;
-              if pure_join then
+              if pure_join then begin
+                fb_s.(sa) <- fb_s.(sa) + n;
                 for ci = 0 to n - 1 do
                   let t =
                     Array.unsafe_get tuples (Array.unsafe_get rows ci)
@@ -1506,11 +1774,13 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                   done;
                   f env
                 done
+              end
               else
                 for ci = 0 to n - 1 do
                   let ti = if !shared_scan then ci else rows.(ci) in
                   let t = tuples.(ti) in
                   if admits i t then begin
+                    fb_s.(sa) <- fb_s.(sa) + 1;
                     for q = 0 to nbinds - 1 do
                       let pos, s = Array.unsafe_get st.bs_binds q in
                       env.(s) <- t.(pos)
@@ -1568,6 +1838,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
              if Bytes.unsafe_get m i <> '\000' then begin
                probe1 (Array.unsafe_get p1 i);
                let n = !memo_count in
+               fb_p.(sa) <- fb_p.(sa) + n;
                if n > 0 then begin
                  let rows = !memo_rows in
                  if !oj + n > !ocap then grow (!oj + n);
@@ -1598,6 +1869,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                if ncols = 0 then begin
                  let n = !shared_count in
                  let rows = !shared_rows in
+                 fb_p.(sa) <- fb_p.(sa) + n;
                  for ci = 0 to n - 1 do
                    let ti = if !shared_scan then ci else rows.(ci) in
                    let t = tuples.(ti) in
@@ -1612,6 +1884,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                    end
                    else (cand_count.(i), cand_rows.(i))
                  in
+                 fb_p.(sa) <- fb_p.(sa) + n;
                  for ci = 0 to n - 1 do
                    let t = tuples.(rows.(ci)) in
                    if admits i t then emit i t
@@ -1619,6 +1892,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
                end
            done
          end);
+        fb_s.(sa) <- fb_s.(sa) + !oj;
         if !oj = 0 then raise Batch_dead;
         width := !oj;
         alive := !oj;
@@ -1631,8 +1905,11 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
       let ghi = min hi (!glo + group) in
       (try
          (* stage 0: survivor bitmask over the candidate vector, then the
-            survivors' bind columns are materialized compactly as level 0 *)
+            survivors' bind columns are materialized compactly as level 0.
+            Its probe context is credited once per run at commit time, like
+            the scalar top level. *)
          let w0 = ghi - !glo in
+         fb_p.(st0.bs_atom) <- fb_p.(st0.bs_atom) + w0;
          let cand =
            if Array.length !cand_scratch < w0 then
              cand_scratch :=
@@ -1682,6 +1959,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
              incr j
            end
          done;
+         fb_s.(st0.bs_atom) <- fb_s.(st0.bs_atom) + !j;
          width := !j;
          alive := !j;
          mask := fresh_mask !j;
@@ -1719,7 +1997,7 @@ let iter_envs_batched_slice p fc ~lo ~hi ~cancel f =
    and compares env for env — matching tuples arrive in increasing
    stored-row order on both sides, so the two enumerations must coincide
    exactly. *)
-let iter_envs_fixed_slice p fc ~lo ~hi ~cancel f =
+let iter_envs_fixed_slice p fc ~lo ~hi ~cancel ~fb:_ f =
   if p.feasible && Array.length p.atoms > 0 then begin
     let env = Array.copy p.init_env in
     let fc_atom = p.order.(fc.fc_pos) in
@@ -1825,7 +2103,10 @@ let iter_envs_batched p f =
       match select_first p with
       | None -> ()
       | Some fc ->
-          iter_envs_batched_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
+          let fb = fb_create (Array.length p.atoms) in
+          iter_envs_batched_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel
+            ~fb f;
+          fb_commit p fc fb
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1904,7 +2185,14 @@ let sanitize_static p =
         check_fail "static order is not a permutation of the atoms";
       seen.(ai) <- true)
     p.order;
-  let key i = atom_key p.atoms.(p.order.(i)) in
+  (* the order discipline is checked against the *calibrated* key: a plan
+     whose order was adapted from observed feedback is sorted by the same
+     key the reorder pass used, so zero-calibration plans degrade to the
+     static (ground, selectivity) check exactly *)
+  let key i =
+    let g, s = atom_key p.atoms.(p.order.(i)) in
+    (g, s +. calib_of p p.order.(i))
+  in
   for i = 0 to n - 2 do
     if compare (key i) (key (i + 1)) > 0 then
       check_fail
@@ -1963,7 +2251,11 @@ let verify_solution p env =
    relations. Each slice validates the static invariants on entry and the
    trail/environment restoration on exit, so a parallel chunked run performs
    the full sequential set of checks per chunk. *)
-let iter_envs_checked_slice p fc ~lo ~hi ~cancel f =
+(* checked slices accept (and ignore) the counter record so the four slice
+   interpreters stay interchangeable in [Parallel.slice_interp]; checked
+   runs deliberately commit no feedback — their replayed double-execution
+   would double-count the genuine run's probes *)
+let iter_envs_checked_slice p fc ~lo ~hi ~cancel ~fb:_ f =
   sanitize_static p;
   if p.feasible && Array.length p.atoms > 0 then begin
     let env = Array.copy p.init_env in
@@ -2123,7 +2415,8 @@ let iter_envs_checked p f =
     match select_first p with
     | None -> ()
     | Some fc ->
-        iter_envs_checked_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel f
+        iter_envs_checked_slice p fc ~lo:0 ~hi:fc.fc_count ~cancel:no_cancel
+          ~fb:(fb_create 0) f
 
 (* checked-batched execution: every morsel group's batched effects are
    validated env-for-env against the scalar fixed-order twin — same fixed
@@ -2131,20 +2424,24 @@ let iter_envs_checked p f =
    against the stored relations before the caller sees it. A mismatch in
    either direction (a dropped or an extra batched solution, or any slot
    disagreement) is a Check_failure. *)
-let iter_envs_batched_checked_slice p fc ~lo ~hi ~cancel f =
+let iter_envs_batched_checked_slice p fc ~lo ~hi ~cancel ~fb:_ f =
   sanitize_static p;
   if p.feasible && Array.length p.atoms > 0 then begin
     let group = morsel_rows () in
+    (* scratch record: the checked replay runs the batched pipeline twice
+       over, so its counters are deliberately discarded *)
+    let scratch = fb_create (Array.length p.atoms) in
     let glo = ref lo in
     while !glo < hi && not (cancel ()) do
       let ghi = min hi (!glo + group) in
       let buf = ref [] in
       iter_envs_batched_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel
-        (fun env -> buf := Array.copy env :: !buf);
+        ~fb:scratch (fun env -> buf := Array.copy env :: !buf);
       let batched = Array.of_list (List.rev !buf) in
       note_max bm_replay_rows (Array.length batched);
       let k = ref 0 in
-      iter_envs_fixed_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel (fun env ->
+      iter_envs_fixed_slice p fc ~lo:!glo ~hi:ghi ~cancel:no_cancel
+        ~fb:scratch (fun env ->
           if !k >= Array.length batched then
             check_fail
               "batched run dropped solution %d of the scalar fixed-order twin"
@@ -2180,7 +2477,7 @@ let iter_envs_batched_checked p f =
     | None -> ()
     | Some fc ->
         iter_envs_batched_checked_slice p fc ~lo:0 ~hi:fc.fc_count
-          ~cancel:no_cancel f
+          ~cancel:no_cancel ~fb:(fb_create 0) f
 
 (* the sequential dispatch; the public [iter_envs] below additionally
    partitions across domains when enabled *)
@@ -2457,9 +2754,17 @@ module Parallel = struct
     | None -> iter_envs_seq p f
     | Some (nd, fc) ->
         let interp = slice_interp () in
+        let checked_run = Atomic.get checked in
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let buffers = Array.make nchunks [] in
+        (* chunk-local counter records: chunk [i] writes only [fbs.(i)]
+           (the Chunk_cell i owner-only discipline); the coordinator merges
+           them after the join, so the merged record equals the sequential
+           run's exactly — every counter is a per-candidate-row property *)
+        let fbs =
+          Array.init nchunks (fun _ -> fb_create (Array.length p.atoms))
+        in
         let trace =
           if Atomic.get race_flag then Some (make_trace nchunks) else None
         in
@@ -2475,7 +2780,7 @@ module Parallel = struct
                 let lo, hi = bounds.(i) in
                 let buf = ref [] in
                 if batched then log i (Column_block i) ~write:true;
-                interp p fc ~lo ~hi ~cancel:no_cancel (fun env ->
+                interp p fc ~lo ~hi ~cancel:no_cancel ~fb:fbs.(i) (fun env ->
                     buf := Array.copy env :: !buf);
                 log i (Chunk_cell i) ~write:true;
                 buffers.(i) <- List.rev !buf;
@@ -2487,6 +2792,11 @@ module Parallel = struct
                   buffers.(j) <- buffers.(j)
                 end);
             Option.iter validate_trace trace);
+        if not checked_run then begin
+          let merged = fb_create (Array.length p.atoms) in
+          Array.iter (fb_add merged) fbs;
+          fb_commit p fc merged
+        end;
         Array.iter (List.iter f) buffers
 
   (* [count p]: per-chunk counts, summed. *)
@@ -2498,9 +2808,13 @@ module Parallel = struct
         !n
     | Some (nd, fc) ->
         let interp = slice_interp () in
+        let checked_run = Atomic.get checked in
         let nchunks = nchunks_for nd fc.fc_count in
         let bounds = chunk_bounds fc.fc_count nchunks in
         let counts = Array.make nchunks 0 in
+        let fbs =
+          Array.init nchunks (fun _ -> fb_create (Array.length p.atoms))
+        in
         let trace =
           if Atomic.get race_flag then Some (make_trace nchunks) else None
         in
@@ -2516,7 +2830,8 @@ module Parallel = struct
                 let lo, hi = bounds.(i) in
                 let n = ref 0 in
                 if batched then log i (Column_block i) ~write:true;
-                interp p fc ~lo ~hi ~cancel:no_cancel (fun _ -> incr n);
+                interp p fc ~lo ~hi ~cancel:no_cancel ~fb:fbs.(i) (fun _ ->
+                    incr n);
                 log i (Chunk_cell i) ~write:true;
                 counts.(i) <- !n;
                 if inject && nchunks > 1 then begin
@@ -2526,6 +2841,11 @@ module Parallel = struct
                   counts.(j) <- counts.(j)
                 end);
             Option.iter validate_trace trace);
+        if not checked_run then begin
+          let merged = fb_create (Array.length p.atoms) in
+          Array.iter (fb_add merged) fbs;
+          fb_commit p fc merged
+        end;
         Array.fold_left ( + ) 0 counts
 
   exception Hit
@@ -2571,7 +2891,13 @@ module Parallel = struct
                 in
                 if not (cancel ()) then begin
                   let lo, hi = bounds.(i) in
-                  try interp p fc ~lo ~hi ~cancel (fun _ -> raise Hit)
+                  (* a correctly sized but discarded record: parallel sat
+                     commits no feedback — cancellation truncates the probe
+                     stream nondeterministically across pool sizes *)
+                  try
+                    interp p fc ~lo ~hi ~cancel
+                      ~fb:(fb_create (Array.length p.atoms)) (fun _ ->
+                        raise Hit)
                   with Hit ->
                     log i Cancel_flag ~write:true;
                     Atomic.set found true
@@ -2656,6 +2982,7 @@ module Inspect = struct
     a_dcounts : int array;
     a_ranges : (int * int) array;
     a_ops : op array;
+    a_calib : float;  (* feedback calibration, log10; 0. on fresh plans *)
   }
 
   type view = {
@@ -2683,7 +3010,8 @@ module Inspect = struct
             a_rows = ap.a_rel.Db.nrows;
             a_dcounts = Array.copy ap.a_rel.Db.dcounts;
             a_ranges = Array.copy ap.a_rel.Db.ranges;
-            a_ops = Array.copy ap.a_ops })
+            a_ops = Array.copy ap.a_ops;
+            a_calib = calib_of p i })
         p.atoms
     in
     { i_feasible = p.feasible;
@@ -2695,6 +3023,70 @@ module Inspect = struct
       i_compiled_version = p.compiled_at;
       i_store_version = p.cdb.Db.db_version;
       i_live_version = Database.version p.src_db }
+
+  (* ---- the cardinality-feedback view, as plain data ----------------- *)
+
+  type feedback_atom = {
+    f_atom : int;        (* plan atom index *)
+    f_contexts : int;    (* probe contexts this atom was selected in *)
+    f_probed : int;      (* candidate rows probed across those contexts *)
+    f_survived : int;    (* rows surviving all checks (matches) *)
+    f_rows : int;        (* stored relation rows, for the sound E026 bound *)
+    f_score : float;     (* static selectivity estimate, log10 *)
+    f_calib : float;     (* feedback calibration applied on top, log10 *)
+  }
+
+  type feedback_view = {
+    f_atoms : feedback_atom array;
+    f_runs : int;            (* completed (uncancelled) enumerations *)
+    f_top : int option;      (* the top-level atom select_first would choose *)
+    f_threshold : float;     (* drift threshold in force, log10 decades *)
+    f_min_probed : int;      (* evidence floor in force *)
+    f_costed_at : int;       (* stats epoch the calibration was costed at *)
+    f_compiled_version : int;
+    f_store_version : int;
+    f_live_version : int;
+  }
+
+  (* The counters are read from the plan's accumulator (zero if the plan
+     never ran); estimates come from the same [atom_score] the reorder pass
+     sorts by, so the drift audit compares exactly what chose the order
+     against exactly what the run observed. *)
+  let feedback (p : t) =
+    let get arr i = if i < Array.length arr then arr.(i) else 0 in
+    let atoms =
+      Array.mapi
+        (fun i (ap : atom_plan) ->
+          { f_atom = i;
+            f_contexts =
+              (match p.feedback with
+              | Some fb -> get fb.fb_contexts i
+              | None -> 0);
+            f_probed =
+              (match p.feedback with
+              | Some fb -> get fb.fb_probed i
+              | None -> 0);
+            f_survived =
+              (match p.feedback with
+              | Some fb -> get fb.fb_survived i
+              | None -> 0);
+            f_rows = ap.a_rel.Db.nrows;
+            f_score = atom_score ap;
+            f_calib = calib_of p i })
+        p.atoms
+    in
+    { f_atoms = atoms;
+      f_runs = (match p.feedback with Some fb -> fb.fb_runs | None -> 0);
+      f_top =
+        (match select_first p with
+        | None -> None
+        | Some fc -> Some p.order.(fc.fc_pos));
+      f_threshold = drift_threshold ();
+      f_min_probed = drift_min_probed ();
+      f_costed_at = p.costed_at;
+      f_compiled_version = p.compiled_at;
+      f_store_version = p.cdb.Db.db_version;
+      f_live_version = Database.version p.src_db }
 
   (* ---- the parallel execution plan, as plain data ------------------ *)
 
@@ -2763,7 +3155,8 @@ module Inspect = struct
          { s_name = "cancel-flag"; s_kind = Atomic_cell };
          { s_name = "region-guard"; s_kind = Atomic_cell };
          { s_name = "chunk-buffers"; s_kind = Chunk_local };
-         { s_name = "chunk-counts"; s_kind = Chunk_local } |]
+         { s_name = "chunk-counts"; s_kind = Chunk_local };
+         { s_name = "feedback-cells"; s_kind = Chunk_local } |]
     in
     (* the batched interpreter's columnar state is chunk-local: each chunk
        allocates and writes only its own slot columns *)
@@ -2787,6 +3180,9 @@ module Inspect = struct
           w_owner_only = true };
         { w_site = "count-accumulate";
           w_target = "chunk-counts";
+          w_owner_only = true };
+        { w_site = "feedback-accumulate";
+          w_target = "feedback-cells";
           w_owner_only = true } ]
     in
     let writes =

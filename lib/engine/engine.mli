@@ -105,6 +105,67 @@ val set_optimize : bool -> unit
 
 val optimize_enabled : unit -> bool
 
+(** {2 Verified adaptive re-planning}
+
+    Every completed (uncancelled) enumeration accumulates cheap per-atom
+    counters into its plan — probe contexts entered, candidate rows probed,
+    rows surviving all checks — exposed as plain data by
+    {!Inspect.feedback}. When adaptation is enabled ([WDPT_ENGINE_ADAPT=1]
+    or {!set_adapt}) and an atom's observed log10 selectivity drifts more
+    than {!drift_threshold} decades above its calibrated estimate (with at
+    least {!drift_min_probed} rows of evidence), the engine recalibrates:
+    the drift is folded into a per-atom calibration term, the static order
+    re-sorted by the calibrated key, and the result cached keyed by the
+    source atom list and the stats epoch (store version) it was costed at.
+    The next [compile] of the same atom list picks the calibration up —
+    entries from an older epoch are evicted, never applied (the E024
+    discipline). Every swap emits a {!swap_cert} that [Analysis.Feedback]
+    independently re-verifies (E025); an invalid certificate keeps the old
+    plan. Calibration only reorders the static atom order — the answer set
+    is order-independent, so adaptive and non-adaptive runs agree
+    answer-for-answer ([wdpt_fuzz --drift-diff] checks this). *)
+
+val set_adapt : bool -> unit
+val adapt_enabled : unit -> bool
+
+(** Drift threshold in log10 decades (default 2.0, clamped to [>= 0.1]):
+    re-calibration (and the E022 diagnostic) trigger when the observed
+    per-context survival exceeds the calibrated estimate by more than
+    this. One-sided — overestimates never force a swap. *)
+val set_drift_threshold : float -> unit
+
+val drift_threshold : unit -> float
+
+(** Minimum probed rows before drift evidence is acted on (default 64,
+    clamped to [>= 1]). *)
+val set_drift_min_probed : int -> unit
+
+val drift_min_probed : unit -> int
+
+(** Plain-data certificate of one adaptive plan swap: enough to recompute
+    the calibration from the drift evidence and re-verify the re-sorted
+    order, without trusting the loop that produced it. *)
+type swap_cert = {
+  sw_epoch : int;
+      (** stats epoch (store version) the swap was costed at *)
+  sw_runs : int;  (** completed runs the evidence covers *)
+  sw_drift : (int * float * float) array;
+      (** per drifted atom: (index, calibrated estimate, observed log10
+          selectivity) — the E022-level evidence justifying the swap *)
+  sw_calib : float array;  (** full per-atom calibration after the swap *)
+}
+
+(** [replan p]: examine [p]'s accumulated counters; on E022-level drift
+    return the recalibrated plan and its certificate, [None] otherwise
+    (no evidence, no drift, or infeasible). Pure with respect to the
+    adapt cache — [compile] + the commit hook drive the cache itself. *)
+val replan : t -> (t * swap_cert) option
+
+(** The cached swap certificate for [p]'s atom list, if an adaptive swap
+    has been stored for it on [p]'s compiled store ([None] otherwise) —
+    what [Analysis.Feedback] re-verifies as E025. *)
+val cached_swap : t -> swap_cert option
+
 (** {2 Batched (vectorized) execution}
 
     By default the engine executes each compiled instruction over a vector
@@ -359,6 +420,9 @@ module Inspect : sig
     a_ranges : (int * int) array;
         (** per position: (min, max) stored id, (0, -1) when empty *)
     a_ops : op array;  (** per-position instructions *)
+    a_calib : float;
+        (** feedback calibration applied to this atom's selectivity score
+            (log10 decades); [0.] on fresh or non-adapted plans *)
   }
 
   type view = {
@@ -380,6 +444,40 @@ module Inspect : sig
 
   (** Snapshot the IR of a compiled plan. *)
   val plan : t -> view
+
+  (** {2 The cardinality-feedback view}
+
+      Plain-data snapshot of the per-atom runtime counters beside the
+      static estimates that chose the plan — what [Analysis.Feedback]
+      audits (E022–E026) and [explain --drift] prints. All counters are
+      zero for a plan that never ran. *)
+
+  type feedback_atom = {
+    f_atom : int;  (** plan atom index *)
+    f_contexts : int;  (** probe contexts this atom was selected in *)
+    f_probed : int;  (** candidate rows probed across those contexts *)
+    f_survived : int;  (** rows surviving all checks (matches) *)
+    f_rows : int;  (** stored relation rows (sound E026 probe bound) *)
+    f_score : float;  (** static selectivity estimate, log10 *)
+    f_calib : float;  (** feedback calibration applied on top, log10 *)
+  }
+
+  type feedback_view = {
+    f_atoms : feedback_atom array;  (** empty when infeasible/atomless *)
+    f_runs : int;  (** completed (uncancelled) enumerations folded in *)
+    f_top : int option;
+        (** the top-level atom the first dynamic selection would choose *)
+    f_threshold : float;  (** {!Engine.drift_threshold} in force *)
+    f_min_probed : int;  (** {!Engine.drift_min_probed} in force *)
+    f_costed_at : int;
+        (** stats epoch the plan's calibration was costed at; older than
+            [f_store_version] is the E024 stale-epoch shape *)
+    f_compiled_version : int;
+    f_store_version : int;
+    f_live_version : int;
+  }
+
+  val feedback : t -> feedback_view
 
   (** {2 The parallel execution plan}
 

@@ -28,9 +28,33 @@ type plan = {
 let choose_exec (c : Cq.Cost.t) =
   if c.acyclic then Yannakakis
   else if
-    Cq.Cost.decomp_eval_bound c < Float.min c.vardom_bound c.product_bound
+    (* observed drift inflates the backtracking side: the variable-domain /
+       relation-product bounds are what the feedback discredited, the bag
+       bound depends only on |adom| and the width *)
+    Cq.Cost.decomp_eval_bound c
+    < Float.min c.vardom_bound c.product_bound +. c.drift
   then Decomposition
   else Backtracking
+
+(* Stats-epoch-keyed memo for the full-tree cost analysis: re-planning the
+   same body against the same database at an unchanged version reuses the
+   analysis; a version bump (Database.add) or a different database misses.
+   The store version is part of the lookup — never trusted from the entry —
+   so a stale entry cannot be served (the E024 discipline, optimizer side). *)
+let cost_memo :
+    (Relational.Atom.t list * string list, Database.t * int * Cq.Cost.t)
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let analyze_memo db body ~free =
+  let key = (body, free) in
+  match Hashtbl.find_opt cost_memo key with
+  | Some (db', v', c) when db' == db && v' = Database.version db -> c
+  | _ ->
+      if Hashtbl.length cost_memo > 1024 then Hashtbl.reset cost_memo;
+      let c = Cq.Cost.analyze db body ~free in
+      Hashtbl.replace cost_memo key (db, Database.version db, c);
+      c
 
 let plan ?db ~k p =
   (* consume the static analyzer's rewrite opportunities first: dropping
@@ -54,11 +78,22 @@ let plan ?db ~k p =
     | None -> None
     | Some db ->
         let full = Pattern_tree.q_full q in
-        Some (Cq.Cost.analyze db (Cq.Query.body full) ~free:(Cq.Query.head full))
+        Some (analyze_memo db (Cq.Query.body full) ~free:(Cq.Query.head full))
   in
   let exec = match cost with None -> Backtracking | Some c -> choose_exec c in
   { query = q; source = p; rewrites; k; bounded_interface = c; strategy;
     exec; cost }
+
+(* [replan pl ~drift] folds measured selectivity drift (from the engine's
+   cardinality feedback, log10 decades) into the plan's cost report and
+   re-runs strategy selection. Answers are unaffected — all three engines
+   compute the same set — only the engine choice moves. *)
+let replan pl ~drift =
+  match pl.cost with
+  | None -> pl
+  | Some c ->
+      let c = Cq.Cost.recalibrate c ~drift in
+      { pl with cost = Some c; exec = choose_exec c }
 
 let describe_exec = function
   | Backtracking -> "backtracking search"

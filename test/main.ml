@@ -37,6 +37,7 @@ let () =
          ("sparql", Test_sparql.suite);
          ("analysis", Test_analysis.suite);
          ("audit", Test_audit.suite);
+         ("feedback", Test_feedback.suite);
          ("equiv", Test_equiv.suite);
          ("edge-cases", Test_edge_cases.suite);
          ("opt-semantics", Test_opt_semantics.suite);
