@@ -51,7 +51,7 @@ let write_json path =
       []
       (List.rev !records)
   in
-  Printf.fprintf oc "{\n  \"schema\": %d,\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 9,\n  \"experiments\": {\n"
+  Printf.fprintf oc "{\n  \"schema\": %d,\n  \"suite\": \"wdpt-bench\",\n  \"pr\": 10,\n  \"experiments\": {\n"
     Analysis.Json.schema_version;
   let n_groups = List.length groups in
   List.iteri
@@ -1262,6 +1262,137 @@ let drift_adaptive () =
         (loglog_slope (List.rev !audit_points)))
 
 (* ---------------------------------------------------------------- *)
+(* DELTA: standing-query maintenance vs full re-evaluation            *)
+(* ---------------------------------------------------------------- *)
+
+let delta_maintenance () =
+  section "DELTA"
+    "Incremental answer maintenance: delta refresh vs full re-evaluation per batch";
+  Format.printf
+    "a standing WDPT (root E(x,y), OPT child U(y,z), free x,z) is registered@.";
+  Format.printf
+    "once; each 1%%-sized insertion batch is then absorbed by the counting@.";
+  Format.printf
+    "delta refresh (dirty-rootkey scoped re-runs + per-group frontier@.";
+  Format.printf
+    "updates), cross-checked every batch against evaluating the post-batch@.";
+  Format.printf
+    "database from scratch at both semantics levels, and the emitted change@.";
+  Format.printf
+    "events must replay the before-sets onto the after-sets (E030).@.";
+  let p =
+    Wdpt.Pattern_tree.make ~free:[ "x"; "z" ]
+      (Wdpt.Pattern_tree.Node
+         ( [ Atom.make "E" [ Term.var "x"; Term.var "y" ] ],
+           [ Wdpt.Pattern_tree.Node
+               ([ Atom.make "U" [ Term.var "y"; Term.var "z" ] ], []) ] ))
+  in
+  (* |D| facts: 90% E edges over |D|/4 nodes, 10% sparse U edges (so most
+     root homomorphisms are bare and subsumption frontiers stay busy), plus
+     a two-edge gadget E(-1,-2), E(-1,-3) whose x=-1 answer the demotion
+     batch later demotes deterministically. *)
+  let build size =
+    let rng = Random.State.make [| 0xde17a; size |] in
+    let nodes = size / 4 in
+    let db = Database.create () in
+    let n_u = size / 10 in
+    for _ = 1 to size - n_u - 2 do
+      Database.add db
+        (Fact.make "E"
+           [ Value.int (Random.State.int rng nodes);
+             Value.int (Random.State.int rng nodes) ])
+    done;
+    for _ = 1 to n_u do
+      Database.add db
+        (Fact.make "U"
+           [ Value.int (Random.State.int rng nodes);
+             Value.int (Random.State.int rng nodes) ])
+    done;
+    Database.add db (Fact.make "E" [ Value.int (-1); Value.int (-2) ]);
+    Database.add db (Fact.make "E" [ Value.int (-1); Value.int (-3) ]);
+    (db, rng, nodes)
+  in
+  let batches = 10 in
+  print_row "  %8s  %8s  %13s  %12s  %11s  %9s  %8s@." "|D|" "batch"
+    "register(ms)" "delta(ms)" "full(ms)" "speedup" "demoted";
+  let sizes = if !smoke then [ 800; 3_200 ] else [ 800; 1_600; 3_200 ] in
+  let speedup_at_largest = ref nan in
+  let largest = List.fold_left max 0 sizes in
+  List.iter
+    (fun size ->
+      let db, rng, nodes = build size in
+      let st = ref None in
+      let t_register =
+        time_once (fun () -> st := Some (Wdpt.Standing.register db p)) |> snd
+      in
+      let st = Option.get !st in
+      let batch_size = max 1 (size / 100) in
+      let t_delta = ref 0. and t_full = ref 0. and demoted = ref 0 in
+      for batch = 1 to batches do
+        let before_eval = Wdpt.Standing.answers st in
+        let before_max = Wdpt.Standing.maximal_answers st in
+        (* 1% insertions, 90/10 E/U like the base data; batch 2 also plants
+           U(-2,-4): {x=-1,z=-4} arrives and demotes the gadget's bare
+           {x=-1}, which keeps its support through E(-1,-3) *)
+        if batch = 2 then
+          Database.add db (Fact.make "U" [ Value.int (-2); Value.int (-4) ]);
+        for _ = 1 to batch_size do
+          let rel = if Random.State.int rng 10 = 0 then "U" else "E" in
+          Database.add db
+            (Fact.make rel
+               [ Value.int (Random.State.int rng nodes);
+                 Value.int (Random.State.int rng nodes) ])
+        done;
+        let events, dt = time_once (fun () -> Wdpt.Standing.refresh st) in
+        t_delta := !t_delta +. dt;
+        List.iter
+          (fun (e : Wdpt.Standing.event) ->
+            match e with Demoted _ -> incr demoted | _ -> ())
+          events;
+        (* the from-scratch baseline: evaluate a fresh copy of the post-batch
+           database (cold engine cache, like a re-run would) *)
+        let db' = Database.copy db in
+        let (full_eval, full_max), ft =
+          time_once (fun () ->
+              (Wdpt.Semantics.eval db' p, Wdpt.Semantics.eval_max db' p))
+        in
+        t_full := !t_full +. ft;
+        if not (Mapping.Set.equal (Wdpt.Standing.answers st) full_eval) then
+          failwith "DELTA: maintained answers diverge from full re-evaluation";
+        if not (Mapping.Set.equal (Wdpt.Standing.maximal_answers st) full_max)
+        then failwith "DELTA: maintained frontier diverges from eval_max";
+        match
+          Analysis.Delta_audit.check_events ~before_eval ~before_max
+            ~after_eval:full_eval ~after_max:full_max events
+        with
+        | [] -> ()
+        | _ -> failwith "DELTA: change events fail the E030 replay check"
+      done;
+      if !demoted = 0 then
+        failwith "DELTA: no batch demoted a previously maximal answer";
+      let speedup = !t_full /. !t_delta in
+      if size = largest then speedup_at_largest := speedup;
+      print_row "  %8d  %8d  %13.2f  %12.3f  %11.2f  %8.1fx  %8d@."
+        (Database.size db) batch_size (t_register *. 1000.)
+        (!t_delta /. float_of_int batches *. 1000.)
+        (!t_full /. float_of_int batches *. 1000.)
+        speedup !demoted;
+      record "DELTA" (Printf.sprintf "register |D|=%d" size) t_register;
+      record "DELTA"
+        (Printf.sprintf "delta-batch |D|=%d" size)
+        (!t_delta /. float_of_int batches);
+      record "DELTA"
+        (Printf.sprintf "full-batch |D|=%d" size)
+        (!t_full /. float_of_int batches))
+    sizes;
+  print_row
+    "  delta speedup at |D|=%d: %.1fx  (acceptance: >= 10x with identical \
+     change sets and >= 1 demotion)@."
+    largest !speedup_at_largest;
+  if !speedup_at_largest < 10. then
+    failwith "DELTA: refresh is not 10x faster than full re-evaluation"
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure          *)
 (* ---------------------------------------------------------------- *)
 
@@ -1326,7 +1457,7 @@ let () =
       ("--smoke", Arg.Set smoke,
        "  quick subset (t1a + engine + batch + opt + par + race, reduced sizes) for CI");
       ("--only", Arg.String (fun s -> only := Some s),
-       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine batch audit resource opt par race drift bechamel)");
+       "ID  run a single experiment (t1a t1b t1pf t1hw t1pm t1sub t2mem t2app fig2 cor2 prop2 engine batch audit resource opt par race drift delta bechamel)");
       ("--morsel-rows", Arg.Int (fun n ->
            if n < 1 then raise (Arg.Bad "--morsel-rows: morsel size must be >= 1");
            Engine.Parallel.set_morsel_rows n),
@@ -1346,7 +1477,7 @@ let () =
   let experiments =
     [ "t1a"; "t1b"; "t1pf"; "t1hw"; "t1pm"; "t1sub"; "t2mem"; "t2app"; "fig2";
       "cor2"; "prop2"; "engine"; "batch"; "audit"; "resource"; "opt"; "par";
-      "race"; "drift"; "bechamel" ]
+      "race"; "drift"; "delta"; "bechamel" ]
   in
   (match !only with
   | Some s when not (List.mem s experiments) ->
@@ -1360,6 +1491,7 @@ let () =
     if !smoke then
       name = "t1a" || name = "engine" || name = "batch" || name = "resource"
       || name = "opt" || name = "par" || name = "race" || name = "drift"
+      || name = "delta"
     else match !only with None -> true | Some s -> s = name
   in
   if want "t1a" then t1_eval_tractable ();
@@ -1381,6 +1513,7 @@ let () =
   if want "par" then par_runtime ();
   if want "race" then race_sanitizer ();
   if want "drift" then drift_adaptive ();
+  if want "delta" then delta_maintenance ();
   if want "bechamel" then bechamel_suite ();
   (match !json_out with
   | Some path -> write_json path

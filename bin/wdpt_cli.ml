@@ -2,6 +2,7 @@
 
    Subcommands:
      eval        evaluate an {AND,OPT}-SPARQL query over a triple file
+     watch       standing query: replay a change stream, print change sets
      classify    report fragment membership (Section 3 classes)
      approximate compute WB(k)-approximations (Section 5)
      check       well-designedness of a pattern
@@ -209,13 +210,18 @@ let eval_cmd =
       in
       Format.printf "%d answer(s) shown, offset %d (streamed)@." shown offset
     end
+    else if not maximal then begin
+      (* tree-shaped (OPT) queries stream too: every hom the procedural
+         enumeration yields is already maximal, so its projection is an
+         answer on first sight — the page short-circuits with a buffer
+         bounded by offset+limit instead of materializing the answer set *)
+      let shown = Wdpt.Semantics.stream_eval db p ~offset ~limit print_answer in
+      Format.printf "%d answer(s) shown, offset %d (streamed)@." shown offset
+    end
     else begin
-      (* OPT branches / maximal semantics need the full answer set; page the
-         sorted elements *)
-      let ans =
-        if maximal then Wdpt.Semantics.eval_max db p
-        else Wdpt.Semantics.eval db p
-      in
+      (* maximal semantics needs the full answer set; page the sorted
+         elements *)
+      let ans = Wdpt.Semantics.eval_max db p in
       let total = Relational.Mapping.Set.cardinal ans in
       let shown = ref 0 in
       (try
@@ -239,10 +245,13 @@ let eval_cmd =
   let limit =
     Arg.(value & opt (some int) None
          & info [ "limit" ] ~docv:"N"
-             ~doc:"Print at most $(docv) answers. On single-node queries the \
-                   page is streamed: enumeration short-circuits as soon as \
-                   the page is full instead of materializing the answer set \
-                   (answers arrive in first-seen enumeration order).")
+             ~doc:"Print at most $(docv) answers. Under eval semantics the \
+                   page is streamed — single-node queries off the engine's \
+                   projection stream, tree-shaped (OPT) queries off the \
+                   procedural enumeration, whose homs are maximal on first \
+                   sight — so enumeration short-circuits as soon as the page \
+                   is full instead of materializing the answer set (answers \
+                   arrive in first-seen order). Only --maximal materializes.")
   in
   let offset =
     Arg.(value & opt int 0
@@ -264,6 +273,201 @@ let eval_cmd =
     Term.(const run $ query_arg $ data_arg $ maximal $ relational_arg $ limit
           $ offset $ domains_arg $ min_rows_arg $ morsel_rows_arg
           $ max_mem_arg $ degrade_arg $ adapt)
+
+(* shared by watch, lint and explain; the lint -j flag stays as an alias *)
+let format_arg =
+  let doc = "Output format: $(b,text) or $(b,json). The JSON diagnostic \
+             schema (codes, spans, witnesses, fixes) is documented in the \
+             README." in
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+(* -- watch: standing query over a replayed fact stream ------------------- *)
+
+(* Batch files: one change per line, '+' to insert and '-' to delete, the
+   fact in the data syntax of the active mode ('R(1, foo)' with -r, 's p o'
+   triples otherwise). A blank line or '---' closes the batch; '#' starts a
+   comment. Each closed batch is applied as one Database.add/remove window
+   and refreshed as one delta. *)
+let parse_batches ~relational path =
+  let parse_fact lineno body =
+    let r =
+      if relational then Wdpt.Syntax.parse_fact body
+      else Result.map Rdf.Triple.to_fact (Rdf.Graph.triple_of_line body)
+    in
+    match r with
+    | Ok f -> f
+    | Error e -> or_die (Error (Printf.sprintf "%s:%d: %s" path lineno e))
+  in
+  let batches = ref [] and current = ref [] in
+  let close () =
+    if !current <> [] then begin
+      batches := List.rev !current :: !batches;
+      current := []
+    end
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let line = String.trim line in
+      if line = "" || line = "---" then close ()
+      else
+        let body () = String.trim (String.sub line 1 (String.length line - 1)) in
+        match line.[0] with
+        | '+' -> current := `Add (parse_fact lineno (body ())) :: !current
+        | '-' -> current := `Remove (parse_fact lineno (body ())) :: !current
+        | _ ->
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "%s:%d: expected '+fact', '-fact', '---' or a blank line"
+                    path lineno)))
+    (String.split_on_char '\n' (read_file path));
+  close ();
+  List.rev !batches
+
+let value_json v =
+  match v with
+  | Relational.Value.Int n -> Analysis.Json.Int n
+  | Relational.Value.Str s -> Analysis.Json.Str s
+
+let mapping_json h =
+  Analysis.Json.Obj
+    (List.map (fun (x, v) -> (x, value_json v)) (Relational.Mapping.bindings h))
+
+let event_json (e : Wdpt.Standing.event) =
+  let open Analysis.Json in
+  match e with
+  | Added { answer; maximal } ->
+      Obj
+        [ ("kind", Str "added");
+          ("answer", mapping_json answer);
+          ("maximal", Bool maximal) ]
+  | Removed { answer; was_maximal } ->
+      Obj
+        [ ("kind", Str "removed");
+          ("answer", mapping_json answer);
+          ("was-maximal", Bool was_maximal) ]
+  | Promoted answer -> Obj [ ("kind", Str "promoted"); ("answer", mapping_json answer) ]
+  | Demoted answer -> Obj [ ("kind", Str "demoted"); ("answer", mapping_json answer) ]
+
+let watch_cmd =
+  let run query data batches_path relational format audit =
+    let p = or_die (load_tree ~relational query) in
+    let db =
+      match data with
+      | Some path -> or_die (load_db ~relational path)
+      | None -> Relational.Database.create ()
+    in
+    let batches = parse_batches ~relational batches_path in
+    let st = Wdpt.Standing.register db p in
+    let counts () =
+      ( Relational.Mapping.Set.cardinal (Wdpt.Standing.answers st),
+        Relational.Mapping.Set.cardinal (Wdpt.Standing.maximal_answers st) )
+    in
+    let emit_json fields =
+      Format.printf "%a@." Analysis.Json.pp
+        (Analysis.Json.Obj (("schema", Analysis.Json.Int 1) :: fields))
+    in
+    let n0, m0 = counts () in
+    (match format with
+    | `Json ->
+        emit_json
+          [ ("registered", Analysis.Json.Bool true);
+            ("version", Analysis.Json.Int (Wdpt.Standing.version st));
+            ("answers", Analysis.Json.Int n0);
+            ("maximal", Analysis.Json.Int m0) ]
+    | `Text ->
+        Format.printf "registered: %d answer(s), %d maximal, version %d@." n0
+          m0 (Wdpt.Standing.version st));
+    let audit_failures = ref 0 in
+    List.iteri
+      (fun i ops ->
+        List.iter
+          (fun op ->
+            match op with
+            | `Add f -> Relational.Database.add db f
+            | `Remove f -> Relational.Database.remove db f)
+          ops;
+        let evs = Wdpt.Standing.refresh st in
+        let s = Wdpt.Standing.stats st in
+        let ds = if audit then Analysis.Delta_audit.audit st else [] in
+        if ds <> [] then incr audit_failures;
+        let n, m = counts () in
+        match format with
+        | `Json ->
+            emit_json
+              ([ ("batch", Analysis.Json.Int (i + 1));
+                 ("version", Analysis.Json.Int (Wdpt.Standing.version st));
+                 ("added", Analysis.Json.Int s.Wdpt.Standing.last_batch_added);
+                 ("removed", Analysis.Json.Int s.Wdpt.Standing.last_batch_removed);
+                 ("dirty", Analysis.Json.Int s.Wdpt.Standing.last_dirty);
+                 ("recomputed", Analysis.Json.Int s.Wdpt.Standing.last_recomputed);
+                 ("events", Analysis.Json.List (List.map event_json evs));
+                 ("answers", Analysis.Json.Int n);
+                 ("maximal", Analysis.Json.Int m) ]
+              @
+              if audit then
+                [ ("audit", Analysis.Diagnostic.report_json ds) ]
+              else [])
+        | `Text ->
+            Format.printf "batch %d: +%d -%d, %d dirty, %d recomputed -> %d event(s), %d answer(s), %d maximal@."
+              (i + 1) s.Wdpt.Standing.last_batch_added
+              s.Wdpt.Standing.last_batch_removed s.Wdpt.Standing.last_dirty
+              s.Wdpt.Standing.last_recomputed (List.length evs) n m;
+            List.iter
+              (fun (e : Wdpt.Standing.event) ->
+                match e with
+                | Added { answer; maximal } ->
+                    Format.printf "  + %a%s@." Relational.Mapping.pp answer
+                      (if maximal then " (maximal)" else "")
+                | Removed { answer; was_maximal } ->
+                    Format.printf "  - %a%s@." Relational.Mapping.pp answer
+                      (if was_maximal then " (was maximal)" else "")
+                | Promoted a ->
+                    Format.printf "  promoted %a@." Relational.Mapping.pp a
+                | Demoted a ->
+                    Format.printf "  demoted %a@." Relational.Mapping.pp a)
+              evs;
+            List.iter (Format.printf "  %a@." Analysis.Diagnostic.pp) ds)
+      batches;
+    if !audit_failures > 0 then exit 2
+  in
+  let data_opt =
+    Arg.(value & opt (some file) None
+         & info [ "d"; "data" ] ~docv:"FILE"
+             ~doc:"Initial data to register against; defaults to an empty \
+                   database.")
+  in
+  let batches_arg =
+    let doc =
+      "Change stream to replay: lines '+FACT' (insert) and '-FACT' (delete), \
+       batches separated by blank lines or '---', '#' comments. Facts use \
+       the data syntax of the active mode."
+    in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"BATCHES" ~doc)
+  in
+  let audit_arg =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"After every refresh, run the delta-maintenance auditor \
+                   (E027-E030) over the standing view and report its \
+                   findings; exit 2 if any batch fails.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Register the query as a standing view and replay a change \
+             stream against it, printing the answer change set (added / \
+             removed / promoted / demoted events) after every batch instead \
+             of re-evaluating from scratch. With --format json, one \
+             schema-tagged JSON document per batch.")
+    Term.(const run $ query_arg $ data_opt $ batches_arg $ relational_arg
+          $ format_arg $ audit_arg)
 
 let classify_cmd =
   let run query k relational =
@@ -378,14 +582,6 @@ let lint_source ~relational query =
 let json_arg =
   Arg.(value & flag
        & info [ "j"; "json" ] ~doc:"Emit the diagnostics as a JSON report (same as --format json).")
-
-(* shared by lint and explain; the lint -j flag stays as an alias *)
-let format_arg =
-  let doc = "Output format: $(b,text) or $(b,json). The JSON diagnostic \
-             schema (codes, spans, witnesses, fixes) is documented in the \
-             README." in
-  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-       & info [ "format" ] ~docv:"FORMAT" ~doc)
 
 let lint_cmd =
   let run query json format relational =
@@ -755,6 +951,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ eval_cmd;
+            watch_cmd;
             classify_cmd;
             approximate_cmd;
             optimize_cmd;

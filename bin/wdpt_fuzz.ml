@@ -10,6 +10,7 @@
           wdpt_fuzz --batch-diff [COUNT] [SEED]
           wdpt_fuzz --batch-audit-diff [COUNT] [SEED]
           wdpt_fuzz --drift-diff [COUNT] [SEED]
+          wdpt_fuzz --delta-diff [COUNT] [SEED]
    SECONDS defaults to 10; SEED pins the starting seed (the CI smoke run
    pins it so failures reproduce), defaulting to the current time.
    An unknown --MODE flag is an error: usage on stderr, exit 2.
@@ -56,6 +57,18 @@
    Analysis.Feedback (zero E025); the genuine feedback view of an executed
    plan must audit clean (zero E022-E026); and a seeded drift injection
    into a corrupted copy of the view must be caught as E022.
+
+   --delta-diff COUNT runs the incremental-maintenance differential
+   (default 300): on COUNT random instances it registers the query as a
+   standing view (Wdpt.Standing) and replays 6 random batches of
+   insertions and deletions against the database, after each refresh
+   cross-checking the maintained answer set and subsumption frontier
+   against full re-evaluation at both semantics levels, replaying the
+   emitted change events through the E030 check, auditing the view
+   invariants (E028/E029) and the dirty-range derivation (E027) — all
+   expected clean. Deletions make up a quarter of the operations by
+   default; WDPT_DELTA_FUZZ_DELETES=1 doubles that to half, so the
+   tombstone/compaction paths see delete-heavy streams.
 
    --batch-audit-diff COUNT runs the batch-pipeline auditor differential
    (default 300): on COUNT random instances the genuine batched layout must
@@ -366,6 +379,111 @@ let batch_diff_main count seed0 =
     count seed0 !skipped !bad;
   exit (if !bad = 0 then 0 else 1)
 
+(* ---- incremental-maintenance differential -------------------------------- *)
+
+(* One instance of the --delta-diff mode; see the header comment. The
+   database is mutated in place (each instance draws a fresh one), deletions
+   target live facts so they actually change the state. *)
+let delta_fuzz_deletes =
+  match Sys.getenv_opt "WDPT_DELTA_FUZZ_DELETES" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Each instance re-evaluates from scratch 6 times (once per batch, as the
+   cross-check oracle) and runs the O(view²) invariant audit on answer sets
+   that only grow as batches insert fresh edges — so the per-instance budget
+   must stay near the brute-force one, not the evaluator-only one. *)
+let delta_diff_feasible p db =
+  let nvars = String_set.cardinal (Wdpt.Pattern_tree.vars p) in
+  (* batches can add up to 24 fresh edges, growing the active domain *)
+  let adom = max 2 (Database.adom_size db) + 6 in
+  float_of_int nvars *. log (float_of_int adom) <= log 3e4
+
+let check_delta_diff st p db =
+  let module D = Analysis.Diagnostic in
+  let failures = ref [] in
+  let fail name = failures := name :: !failures in
+  let codes ds = String.concat "+" (List.map (fun d -> D.code_id d.D.code) ds) in
+  let all_atoms =
+    List.concat_map (Wdpt.Pattern_tree.atoms p)
+      (List.init (Wdpt.Pattern_tree.node_count p) Fun.id)
+  in
+  let standing = Wdpt.Standing.register db p in
+  let nodes = max 4 (Database.adom_size db) in
+  (* delete probability: 1/4 by default, 1/2 under WDPT_DELTA_FUZZ_DELETES *)
+  let del_weight = if delta_fuzz_deletes then 2 else 1 in
+  for batch = 1 to 6 do
+    let tag s = Printf.sprintf "%s-batch-%d" s batch in
+    let before_eval = Wdpt.Standing.answers standing in
+    let before_max = Wdpt.Standing.maximal_answers standing in
+    let v0 = Wdpt.Standing.version standing in
+    for _op = 1 to 1 + Random.State.int st 4 do
+      if Random.State.int st 4 < del_weight then (
+        match Database.facts db with
+        | [] -> ()
+        | live ->
+            Database.remove db
+              (List.nth live (Random.State.int st (List.length live))))
+      else
+        Database.add db
+          (Fact.make "E"
+             [ Value.int (Random.State.int st nodes);
+               Value.int (Random.State.int st nodes) ])
+    done;
+    let b = Engine.Delta.batch db ~since:v0 in
+    (match
+       Analysis.Delta_audit.audit_ranges all_atoms b
+         (Engine.Delta.dirty_ranges all_atoms b)
+     with
+    | [] -> ()
+    | ds -> fail (tag ("ranges-" ^ codes ds)));
+    let events = Wdpt.Standing.refresh standing in
+    let after_eval = Wdpt.Semantics.eval db p in
+    let after_max = Wdpt.Semantics.eval_max db p in
+    if not (Mapping.Set.equal (Wdpt.Standing.answers standing) after_eval)
+    then fail (tag "eval-vs-full");
+    if
+      not
+        (Mapping.Set.equal (Wdpt.Standing.maximal_answers standing) after_max)
+    then fail (tag "max-vs-full");
+    (match Analysis.Delta_audit.audit standing with
+    | [] -> ()
+    | ds -> fail (tag ("view-" ^ codes ds)));
+    match
+      Analysis.Delta_audit.check_events ~before_eval ~before_max ~after_eval
+        ~after_max events
+    with
+    | [] -> ()
+    | ds -> fail (tag ("events-" ^ codes ds))
+  done;
+  !failures
+
+let delta_diff_main count seed0 =
+  let bad = ref 0 and checked = ref 0 and skipped = ref 0 in
+  let seed = ref seed0 in
+  while !checked < count do
+    incr seed;
+    let p, db = random_instance !seed in
+    if not (delta_diff_feasible p db) then incr skipped
+    else begin
+      incr checked;
+      let st = Random.State.make [| !seed; 0xde17a |] in
+      match check_delta_diff st p db with
+      | [] -> ()
+      | failures ->
+          incr bad;
+          Printf.printf "seed %d FAILED: %s\n%!" !seed
+            (String.concat ", " failures)
+    end
+  done;
+  Printf.printf
+    "delta-diff: %d instance(s) from seed %d (%d oversized skipped, deletes \
+     %s): %d failure(s)\n"
+    count seed0 !skipped
+    (if delta_fuzz_deletes then "1/2" else "1/4")
+    !bad;
+  exit (if !bad = 0 then 0 else 1)
+
 (* ---- batch-audit differential ------------------------------------------- *)
 
 (* One instance of the --batch-audit-diff mode: the genuine batched layout
@@ -667,6 +785,15 @@ let () =
     in
     batch_diff_main count seed0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--delta-diff" then begin
+    let count =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
+    in
+    let seed0 =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 42
+    in
+    delta_diff_main count seed0
+  end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--batch-audit-diff" then begin
     let count =
       if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 300
@@ -710,7 +837,8 @@ let () =
       \       wdpt_fuzz --race-diff [COUNT] [SEED]\n\
       \       wdpt_fuzz --batch-diff [COUNT] [SEED]\n\
       \       wdpt_fuzz --batch-audit-diff [COUNT] [SEED]\n\
-      \       wdpt_fuzz --drift-diff [COUNT] [SEED]\n"
+      \       wdpt_fuzz --drift-diff [COUNT] [SEED]\n\
+      \       wdpt_fuzz --delta-diff [COUNT] [SEED]\n"
       Sys.argv.(1);
     exit 2
   end;

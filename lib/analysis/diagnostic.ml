@@ -38,6 +38,10 @@ type code =
   | Stale_epoch
   | Unjustified_replan
   | Collector_inconsistent
+  | Delta_dirty
+  | Frontier_nonmaximal
+  | Support_mismatch
+  | Event_mismatch
 
 let code_id = function
   | Parse_error -> "S001"
@@ -74,6 +78,10 @@ let code_id = function
   | Stale_epoch -> "E024"
   | Unjustified_replan -> "E025"
   | Collector_inconsistent -> "E026"
+  | Delta_dirty -> "E027"
+  | Frontier_nonmaximal -> "E028"
+  | Support_mismatch -> "E029"
+  | Event_mismatch -> "E030"
 
 let code_name = function
   | Parse_error -> "parse-error"
@@ -110,6 +118,10 @@ let code_name = function
   | Stale_epoch -> "stale-stats-epoch"
   | Unjustified_replan -> "unjustified-replan"
   | Collector_inconsistent -> "inconsistent-collector"
+  | Delta_dirty -> "delta-dirty-coverage"
+  | Frontier_nonmaximal -> "frontier-nonmaximal"
+  | Support_mismatch -> "delta-support-mismatch"
+  | Event_mismatch -> "delta-event-mismatch"
 
 let code_severity = function
   | Parse_error | Not_well_designed | Unsafe_free -> Error
@@ -129,6 +141,8 @@ let code_severity = function
   | Drift -> Warning
   | Counter_coverage | Stale_epoch | Unjustified_replan
   | Collector_inconsistent ->
+      Error
+  | Delta_dirty | Frontier_nonmaximal | Support_mismatch | Event_mismatch ->
       Error
 
 type witness =
@@ -211,6 +225,10 @@ type witness =
       runs : int;
       bound : float;  (* sound log10 ceiling on survivors *)
     }
+  | Dirty_of of { atom : int; pos : int; value : string; fact : string }
+  | Frontier_of of { group : string; answer : string; against : string; detail : string }
+  | Support_of of { group : string; answer : string; stored : int; derived : int; detail : string }
+  | Event_of of { answer : string; level : string; detail : string }
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite
@@ -466,6 +484,28 @@ let witness_json w =
           ("survived", Int survived);
           ("runs", Int runs);
           ("log10-bound", Float bound) ]
+  | Dirty_of { atom; pos; value; fact } ->
+      kind "delta-dirty-coverage"
+        [ ("atom", Int atom);
+          ("position", Int pos);
+          ("value", Str value);
+          ("fact", Str fact) ]
+  | Frontier_of { group; answer; against; detail } ->
+      kind "frontier-nonmaximal"
+        [ ("group", Str group);
+          ("answer", Str answer);
+          ("against", Str against);
+          ("detail", Str detail) ]
+  | Support_of { group; answer; stored; derived; detail } ->
+      kind "delta-support-mismatch"
+        [ ("group", Str group);
+          ("answer", Str answer);
+          ("stored", Int stored);
+          ("derived", Int derived);
+          ("detail", Str detail) ]
+  | Event_of { answer; level; detail } ->
+      kind "delta-event-mismatch"
+        [ ("answer", Str answer); ("level", Str level); ("detail", Str detail) ]
 
 let fix_json f =
   let kind k fields = Json.Obj (("kind", Json.Str k) :: fields) in

@@ -122,7 +122,29 @@
       engine keeps the old plan);
     - [E026 inconsistent-collector] — an observed survivor count exceeding
       the sound per-run ceiling (runs × the stored relation rows reachable
-      per context), i.e. the collector itself is broken (error). *)
+      per context), i.e. the collector itself is broken (error).
+
+    The E027–E030 codes are findings of the delta-maintenance auditor
+    ({!Delta_audit}) over standing-query views ([Wdpt.Standing.view]),
+    dirty-range derivations ([Engine.Delta.dirty_ranges]) and refresh event
+    streams:
+
+    - [E027 delta-dirty-coverage] — a batch fact unifiable with a probed
+      atom whose value at some position is missing from that atom's derived
+      dirty range: the scoped re-run could skip a touched candidate range
+      (error);
+    - [E028 frontier-nonmaximal] — a maintained subsumption frontier that
+      is not the set of ⊑-maximal answers of its group: a frontier member
+      strictly subsumed by another answer, a maximal answer missing from
+      the frontier, or a frontier member that is not an answer at all
+      (error);
+    - [E029 delta-support-mismatch] — an answer's stored support count
+      disagrees with the count derived from the stored homomorphisms, a
+      stored homomorphism filed under the wrong rootkey, or a partition
+      projecting into a group that does not hold it (error);
+    - [E030 delta-event-mismatch] — a refresh's emitted change events,
+      applied to the pre-batch answer sets, fail to reproduce full
+      re-evaluation at one of the two semantics levels (error). *)
 
 open Relational
 
@@ -163,6 +185,10 @@ type code =
   | Stale_epoch  (** E024 *)
   | Unjustified_replan  (** E025 *)
   | Collector_inconsistent  (** E026 *)
+  | Delta_dirty  (** E027 *)
+  | Frontier_nonmaximal  (** E028 *)
+  | Support_mismatch  (** E029 *)
+  | Event_mismatch  (** E030 *)
 
 (** ["W001"] *)
 val code_id : code -> string
@@ -358,6 +384,32 @@ type witness =
       runs : int;
       bound : float;  (** sound log10 ceiling on survivors *)
     }  (** E026 *)
+  | Dirty_of of {
+      atom : int;  (** index into the probed atom list *)
+      pos : int;  (** the uncovered position *)
+      value : string;  (** the batch value missing from the range *)
+      fact : string;  (** the batch fact that carries it *)
+    }  (** E027 *)
+  | Frontier_of of {
+      group : string;  (** the root-free-key, printed *)
+      answer : string;  (** the offending answer *)
+      against : string;  (** the answer witnessing the violation *)
+      detail : string;
+          (** ["dominated-on-frontier"] / ["missing-from-frontier"] /
+              ["frontier-not-answer"] *)
+    }  (** E028 *)
+  | Support_of of {
+      group : string;
+      answer : string;
+      stored : int;  (** the support count the view claims *)
+      derived : int;  (** the count recomputed from the stored homs *)
+      detail : string;
+    }  (** E029 *)
+  | Event_of of {
+      answer : string;
+      level : string;  (** ["eval"] / ["max"] *)
+      detail : string;
+    }  (** E030 *)
 
 type fix =
   | Apply_rewrite of Wdpt.Simplify.rewrite

@@ -61,6 +61,10 @@ module Db = struct
     pool : Value.t Interner.t;
     rels : (string * int, rel) Hashtbl.t;  (* keyed by (name, arity) *)
     mutable db_version : int;
+    mutable db_deletions : int;
+        (* the Database.deletions epoch the store was last synced at; the
+           store only knows how to ingest insertions, so of_database rebuilds
+           instead of extending when the epoch moved *)
     mutable plans : plan_store;
     mutable adapts : adapt_store;
   }
@@ -141,6 +145,9 @@ module Db = struct
       { pool = Interner.create ~capacity:256 ();
         rels = Hashtbl.create 16;
         db_version = 0;
+        (* facts_since 0 replays the net-live facts, so a fresh build is
+           already reconciled with every past deletion *)
+        db_deletions = Database.deletions db;
         plans = No_plans;
         adapts = No_adapts }
     in
@@ -155,10 +162,14 @@ module Db = struct
      paying full recompilation. *)
   let of_database db =
     match Database.get_cache db with
-    | Some (Compiled c) ->
+    | Some (Compiled c) when c.db_deletions = Database.deletions db ->
         extend c db;
         c
     | _ ->
+        (* either no cached form, or a deletion landed since the cached form
+           was synced: the extend path cannot un-append, so rebuild. Stale
+           plans still holding the old store then legitimately trip the E006
+           version-triple (their store is behind the live database). *)
         let c = build db in
         Database.set_cache db (Compiled c);
         c
@@ -3664,4 +3675,146 @@ module Rel = struct
           r.vars;
         !m)
       r.rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Delta evaluation: net change batches over the modification log       *)
+(* ------------------------------------------------------------------ *)
+
+module Delta = struct
+  type batch = {
+    from_version : int;
+    to_version : int;
+    added : Fact.t list;
+    removed : Fact.t list;
+  }
+
+  let batch db ~since =
+    let v = Database.version db in
+    if since >= v then
+      { from_version = since; to_version = v; added = []; removed = [] }
+    else begin
+      (* Net effect per fact from the stamped log window: entries for a fact
+         strictly alternate Add/Remove starting from its state at [since]
+         (Database.add only logs when absent, remove only when live), so the
+         first entry tells the state at [since] and the last the state now. *)
+      let entries = Database.changes_since db since in
+      let first : (Fact.t, Database.change) Hashtbl.t = Hashtbl.create 32 in
+      let last : (Fact.t, Database.change) Hashtbl.t = Hashtbl.create 32 in
+      let order = ref [] in
+      List.iter
+        (fun e ->
+          let f = match e with Database.Add f | Database.Remove f -> f in
+          if not (Hashtbl.mem first f) then begin
+            Hashtbl.add first f e;
+            order := f :: !order
+          end;
+          Hashtbl.replace last f e)
+        entries;
+      let order = List.rev !order in
+      let net keep =
+        List.filter
+          (fun f -> keep (Hashtbl.find first f) (Hashtbl.find last f))
+          order
+      in
+      let added =
+        net (fun a b ->
+            match (a, b) with Database.Add _, Database.Add _ -> true | _ -> false)
+      and removed =
+        net (fun a b ->
+            match (a, b) with
+            | Database.Remove _, Database.Remove _ -> true
+            | _ -> false)
+      in
+      { from_version = since; to_version = v; added; removed }
+    end
+
+  let is_empty b = b.added = [] && b.removed = []
+
+  type index = {
+    i_added : Fact.Set.t;
+    i_removed : Fact.Set.t;
+    i_added_by_rel : (string, Fact.t list) Hashtbl.t;  (* oldest first *)
+  }
+
+  let index b =
+    let by_rel = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let r = Fact.rel f in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_rel r) in
+        Hashtbl.replace by_rel r (f :: prev))
+      (List.rev b.added);
+    { i_added = Fact.Set.of_list b.added;
+      i_removed = Fact.Set.of_list b.removed;
+      i_added_by_rel = by_rel }
+
+  let mem_added idx f = Fact.Set.mem f idx.i_added
+  let mem_removed idx f = Fact.Set.mem f idx.i_removed
+
+  let added_of idx rel =
+    Option.value ~default:[] (Hashtbl.find_opt idx.i_added_by_rel rel)
+
+  type dirty_range = {
+    dr_atom : int;
+    dr_rel : string;
+    dr_pos : int;
+    dr_values : Value.t list;  (* distinct, ascending *)
+  }
+
+  let dirty_ranges atoms b =
+    let touched : (string * int, Value.Set.t ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let note f =
+      List.iteri
+        (fun i v ->
+          match Hashtbl.find_opt touched (Fact.rel f, i) with
+          | Some s -> s := Value.Set.add v !s
+          | None -> Hashtbl.add touched (Fact.rel f, i) (ref (Value.Set.singleton v)))
+        (Fact.tuple f)
+    in
+    List.iter note b.added;
+    List.iter note b.removed;
+    List.concat
+      (List.mapi
+         (fun ai a ->
+           let rel = Atom.rel a in
+           List.filter_map
+             (fun pos ->
+               match Hashtbl.find_opt touched (rel, pos) with
+               | Some s ->
+                   Some
+                     { dr_atom = ai;
+                       dr_rel = rel;
+                       dr_pos = pos;
+                       dr_values = Value.Set.elements !s }
+               | None -> None)
+             (List.init (Atom.arity a) Fun.id))
+         atoms)
+
+  (* Scoped re-run for the backtracking path: enumerate homomorphisms of
+     [atoms] extending [init] where the atom at index [pivot] maps onto a
+     *net-added* fact of the batch. Every genuinely new homomorphism of the
+     pattern uses at least one added fact, so ranging the pivot over the
+     atom list covers all of them; the remaining atoms run against the full
+     (current) database via the counted indexes. *)
+  let iter_pivot_homs db atoms ~pivot idx ~init yield =
+    match List.nth_opt atoms pivot with
+    | None -> invalid_arg "Engine.Delta.iter_pivot_homs: pivot out of range"
+    | Some pa ->
+        let rest = List.filteri (fun i _ -> i <> pivot) atoms in
+        let rec solve h = function
+          | [] -> yield h
+          | a :: more ->
+              List.iter
+                (fun h' -> solve h' more)
+                (Database.matches db a h)
+        in
+        List.iter
+          (fun f ->
+            match Mapping.matches_fact init pa f with
+            | Some h0 -> solve h0 rest
+            | None -> ())
+          (added_of idx (Atom.rel pa))
 end

@@ -618,3 +618,73 @@ val checked_enabled : unit -> bool
     [WDPT_ENGINE_TSAN=1]) when a parallel region performed two unordered
     conflicting accesses to the same non-atomic shared location. *)
 exception Race_failure of string
+
+(** {2 Delta evaluation}
+
+    Net change batches read off the database's stamped modification log,
+    plus the two scoped-probe primitives incremental view maintenance is
+    built from: dirty-range derivation (which (atom, position) probe ranges
+    a batch touches — plain data, auditable by [Analysis.Delta_audit]) and
+    pivot-constrained enumeration (homomorphisms forced to use at least one
+    net-added fact). [Wdpt.Standing] drives both to maintain standing-query
+    answers incrementally. *)
+module Delta : sig
+  (** The net effect of the log window [(from_version, to_version]]: facts
+      live now but not at [from_version] ([added]) and facts live at
+      [from_version] but not now ([removed]), each in first-touch order. A
+      fact inserted and deleted inside the window appears in neither. *)
+  type batch = {
+    from_version : int;
+    to_version : int;
+    added : Fact.t list;
+    removed : Fact.t list;
+  }
+
+  (** [batch db ~since] nets the log window since version [since]. For
+      [since >= version db] the batch is empty. O(window). *)
+  val batch : Database.t -> since:int -> batch
+
+  val is_empty : batch -> bool
+
+  (** Membership/per-relation view of a batch, built once per refresh. *)
+  type index
+
+  val index : batch -> index
+  val mem_added : index -> Fact.t -> bool
+  val mem_removed : index -> Fact.t -> bool
+
+  (** Net-added facts of a relation, oldest first. *)
+  val added_of : index -> string -> Fact.t list
+
+  (** One touched probe range: matching the atom at index [dr_atom] of the
+      probed atom list, position [dr_pos] can only have gained or lost
+      matches at the listed values. *)
+  type dirty_range = {
+    dr_atom : int;
+    dr_rel : string;
+    dr_pos : int;
+    dr_values : Value.t list;  (** distinct, ascending *)
+  }
+
+  (** [dirty_ranges atoms b]: every (atom, position) range of [atoms] that
+      batch [b] touches. Complete by construction: any batch fact unifiable
+      with an atom of the list lands in that atom's ranges at every
+      position. *)
+  val dirty_ranges : Atom.t list -> batch -> dirty_range list
+
+  (** [iter_pivot_homs db atoms ~pivot idx ~init yield]: all homomorphisms
+      of [atoms] extending [init] whose atom [pivot] maps onto a net-added
+      fact of the batch behind [idx]; the other atoms match against the full
+      current database. Ranging [pivot] over the atom list enumerates (a
+      superset of) the genuinely new homomorphisms of the pattern, since
+      each must use at least one added fact.
+      @raise Invalid_argument if [pivot] is out of range. *)
+  val iter_pivot_homs :
+    Database.t ->
+    Atom.t list ->
+    pivot:int ->
+    index ->
+    init:Mapping.t ->
+    (Mapping.t -> unit) ->
+    unit
+end

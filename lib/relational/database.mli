@@ -8,8 +8,26 @@ val create : unit -> t
 val of_list : Fact.t list -> t
 val of_atoms : Atom.t list -> t
 
-(** [add db f] inserts a fact (idempotent). *)
+(** [add db f] inserts a fact (idempotent). Re-adding a fact that was
+    {!remove}d resurrects it in place: the tombstone is cleared and the live
+    counts restored without touching the physical index cells. *)
 val add : t -> Fact.t -> unit
+
+(** [remove db f] deletes a live fact (no-op otherwise). Deletion is by
+    tombstone: the fact is dropped from the live set and every counted cell's
+    live count is decremented, but the physical cell lists keep the fact
+    until the next {!compact} (automatic once tombstones outnumber a third of
+    the live facts, or explicit). Reads ({!facts_of}, {!candidates}) filter
+    tombstones lazily, so in-flight enumerations over previously obtained
+    candidate lists keep a consistent snapshot. Between a remove and the next
+    compaction, {!active_domain}/{!adom_size} may overapproximate. *)
+val remove : t -> Fact.t -> unit
+
+(** [compact db] physically erases tombstoned facts from every index cell and
+    recomputes the active domain and distinct-value statistics exactly.
+    No-op when there are no tombstones; never changes the live fact set,
+    {!version} or {!deletions}. *)
+val compact : t -> unit
 
 val mem : t -> Fact.t -> bool
 val size : t -> int
@@ -39,15 +57,43 @@ val arity_of : t -> string -> int option
 val relations : t -> string list
 val schema : t -> Schema.t
 
-(** Monotone modification counter: bumped on every successful {!add}. Lets
-    derived structures (e.g. the compiled engine form) detect staleness. *)
+(** Monotone modification counter: bumped on every successful {!add} and
+    every successful {!remove}. Lets derived structures (e.g. the compiled
+    engine form) detect staleness. *)
 val version : t -> int
 
-(** [facts_since db v] lists the facts inserted after the database was at
-    version [v], in insertion order. [facts_since db 0] replays the whole
-    database. This is the catch-up feed for incrementally maintained derived
-    structures: a structure stamped with version [v] extends itself with
-    exactly these facts instead of rebuilding. O(version - v). *)
+(** Monotone deletion epoch: bumped on every successful {!remove}, never by
+    {!add} or {!compact}. A derived structure that only knows how to ingest
+    insertions (the compiled engine form) stamps this alongside {!version}
+    and rebuilds instead of extending when the epoch moved. *)
+val deletions : t -> int
+
+(** One entry of the modification log: the stamped insertion log and deletion
+    log, interleaved in modification order. *)
+type change =
+  | Add of Fact.t
+  | Remove of Fact.t
+
+(** [changes_since db v] lists the log entries recorded after the database
+    was at version [v], oldest first. Per fact, the entries of any such
+    window strictly alternate [Add]/[Remove] starting from the fact's state
+    at version [v] ({!add} only logs when the fact is absent, {!remove} only
+    when it is live) — so the net effect on a fact is read off the first and
+    last entry alone. Returns [[]] when [v >= version db]. O(version - v). *)
+val changes_since : t -> int -> change list
+
+(** [facts_since db v] lists the *net-new* facts since version [v]: facts
+    that are live now but were not at [v], in order of first insertion.
+    [facts_since db 0] replays the whole live database. When no deletion
+    touched the window this is exactly the slice of the insertion log, and
+    the catch-up feed for incrementally maintained derived structures: a
+    structure stamped with version [v] extends itself with exactly these
+    facts instead of rebuilding (sound as long as the {!deletions} epoch did
+    not move — net removals are invisible to this function; use
+    {!changes_since} to see them). Returns [[]] when [v >= version db],
+    including versions *ahead* of the current one (a caller holding a stamp
+    from a different database simply gets no catch-up feed, never garbage).
+    O(version - v). *)
 val facts_since : t -> int -> Fact.t list
 
 (** One cache slot for a derived structure. The slot survives {!add} — the

@@ -5,7 +5,7 @@ open Relational
    justified by well-designedness: a variable occurring in two sibling
    branches also occurs in their common ancestors, hence is already bound
    when the branches are processed. *)
-let iter_maximal_homomorphisms db p yield =
+let iter_maximal_extensions db p ~init yield =
   (* stream maximal extensions of [h] into the subtree at [node]; nothing is
      yielded iff the node's pattern cannot be matched at all, so children are
      probed for matchability before recursing *)
@@ -23,7 +23,10 @@ let iter_maximal_homomorphisms db p yield =
         in
         kids g (Pattern_tree.children p node))
   in
-  iter_ext (Pattern_tree.root p) Mapping.empty yield
+  iter_ext (Pattern_tree.root p) init yield
+
+let iter_maximal_homomorphisms db p yield =
+  iter_maximal_extensions db p ~init:Mapping.empty yield
 
 let maximal_homomorphisms db p =
   let out = ref [] in
@@ -69,6 +72,34 @@ let eval_naive db p = project_set p (maximal_homomorphisms_naive db p)
 let eval_max db p =
   Mapping.Set.of_list
     (Mapping.maximal_elements (Mapping.Set.elements (eval db p)))
+
+exception Stream_done
+
+let stream_eval db p ~offset ~limit yield =
+  (* Bounded-buffer streaming of p(D): every hom the procedural enumeration
+     yields is already maximal, so its projection is a *bona fide* answer the
+     moment it appears — streaming only has to deduplicate, never to retract.
+     The buffer holds the distinct answers seen so far and is therefore
+     bounded by [offset + limit]; enumeration stops as soon as the page is
+     full, without materializing the rest of the answer set. *)
+  let free = Pattern_tree.free_set p in
+  let seen = ref Mapping.Set.empty in
+  let emitted = ref 0 in
+  let want = match limit with None -> max_int | Some n -> n in
+  (try
+     iter_maximal_homomorphisms db p (fun h ->
+         let a = Mapping.restrict free h in
+         if not (Mapping.Set.mem a !seen) then begin
+           seen := Mapping.Set.add a !seen;
+           let rank = Mapping.Set.cardinal !seen in
+           if rank > offset then begin
+             yield a;
+             incr emitted;
+             if !emitted >= want then raise Stream_done
+           end
+         end)
+   with Stream_done -> ());
+  !emitted
 
 let decision db p h = Mapping.Set.mem h (eval db p)
 

@@ -16,6 +16,34 @@ val maximal_homomorphisms : Database.t -> Pattern_tree.t -> Mapping.t list
 val iter_maximal_homomorphisms :
   Database.t -> Pattern_tree.t -> (Mapping.t -> unit) -> unit
 
+(** [iter_maximal_extensions db p ~init yield]: the maximal homomorphisms
+    extending the partial mapping [init] (the general form of
+    {!iter_maximal_homomorphisms}, which passes the empty mapping). With
+    [init] binding all root-node variables this enumerates exactly the
+    maximal homomorphisms whose root restriction equals [init] — the
+    per-root-key scoped re-run {!Standing} is built on. *)
+val iter_maximal_extensions :
+  Database.t -> Pattern_tree.t -> init:Mapping.t -> (Mapping.t -> unit) -> unit
+
+(** [stream_eval db p ~offset ~limit yield]: stream the answers of p(D) —
+    deduplicated projections of the maximal homomorphisms — skipping the
+    first [offset] and yielding at most [limit] (all when [None]); returns
+    the number yielded. Enumeration short-circuits once the page is full:
+    every procedurally enumerated homomorphism is already maximal, so an
+    answer can be emitted the moment it is first seen and the working set is
+    a bounded dedup buffer of at most [offset + limit] (or all-distinct)
+    answers, never the full materialized answer set. Works for arbitrary
+    tree-shaped (OPT) queries at {!eval} semantics; {!eval_max} semantics
+    inherently needs the frontier of the whole answer set, so it cannot
+    stream this way. *)
+val stream_eval :
+  Database.t ->
+  Pattern_tree.t ->
+  offset:int ->
+  limit:int option ->
+  (Mapping.t -> unit) ->
+  int
+
 (** Reference implementation: enumerate rooted subtrees, evaluate their CQs,
     keep the ⊑-maximal mappings. *)
 val maximal_homomorphisms_naive : Database.t -> Pattern_tree.t -> Mapping.t list

@@ -39,6 +39,7 @@ let () =
          ("audit", Test_audit.suite);
          ("feedback", Test_feedback.suite);
          ("equiv", Test_equiv.suite);
+         ("delta", Test_delta.suite);
          ("edge-cases", Test_edge_cases.suite);
          ("opt-semantics", Test_opt_semantics.suite);
          ("paper-claims", Test_paper_claims.suite) ])
